@@ -1,0 +1,107 @@
+// Shared helpers for the benchmark/reproduction harnesses. Each bench binary
+// regenerates one table or figure of the paper: google-benchmark micro-
+// measurements first, then the paper-shaped summary table printed from
+// direct wall-clock measurements.
+
+#ifndef ISDL_BENCH_BENCH_UTIL_H
+#define ISDL_BENCH_BENCH_UTIL_H
+
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <string>
+
+#include "archs/archs.h"
+#include "hw/hgen.h"
+#include "sim/xsim.h"
+#include "synth/gatesim.h"
+
+namespace isdl::bench {
+
+/// Assembles `source` for `machine`; aborts on error (bench inputs are the
+/// repo's own benchmarks, so failure is a bug).
+inline sim::AssembledProgram assembleOrDie(const sim::SignatureTable& sigs,
+                                           const char* source) {
+  sim::Assembler assembler(sigs);
+  DiagnosticEngine diags;
+  auto prog = assembler.assemble(source, diags);
+  if (!prog) throw IsdlError("bench program failed to assemble:\n" +
+                             diags.dump());
+  return *prog;
+}
+
+/// Runs `fn` repeatedly until ~`minSeconds` of wall clock accumulate;
+/// returns (iterations, seconds).
+inline std::pair<std::uint64_t, double> timeLoop(
+    const std::function<void()>& fn, double minSeconds = 0.4) {
+  using clock = std::chrono::steady_clock;
+  std::uint64_t iters = 0;
+  auto start = clock::now();
+  double elapsed = 0;
+  do {
+    fn();
+    ++iters;
+    elapsed = std::chrono::duration<double>(clock::now() - start).count();
+  } while (elapsed < minSeconds);
+  return {iters, elapsed};
+}
+
+/// XSIM simulation speed in architectural cycles per second on `source`.
+inline double xsimCyclesPerSec(const Machine& machine, const char* source,
+                               std::uint64_t maxCycles) {
+  sim::Xsim xsim(machine);
+  sim::AssembledProgram prog = assembleOrDie(xsim.signatures(), source);
+  std::string err;
+  if (!xsim.loadProgram(prog, &err)) throw IsdlError(err);
+  std::uint64_t cyclesPerRun = 0;
+  auto [iters, seconds] = timeLoop([&] {
+    xsim.reset();
+    auto r = xsim.run(maxCycles);
+    if (r.reason != sim::StopReason::Halted)
+      throw IsdlError("bench program did not halt: " + r.message);
+    cyclesPerRun = xsim.stats().cycles;
+  });
+  return double(iters) * double(cyclesPerRun) / seconds;
+}
+
+/// Hardware-model (netlist) simulation speed in architectural cycles per
+/// second on the same program — the paper's "Synthesizable Verilog" row.
+inline double hwModelCyclesPerSec(const Machine& machine, const char* source,
+                                  std::uint64_t maxClocks,
+                                  bool share = true) {
+  sim::Xsim xsim(machine);  // for signatures + assembler only
+  sim::AssembledProgram prog = assembleOrDie(xsim.signatures(), source);
+  hw::HgenOptions opts;
+  opts.share = share;
+  hw::HgenOutput hgen = hw::runHgen(machine, xsim.signatures(), opts);
+
+  int dmIndex = -1;
+  for (std::size_t si = 0; si < machine.storages.size(); ++si)
+    if (machine.storages[si].kind == StorageKind::DataMemory)
+      dmIndex = static_cast<int>(si);
+
+  synth::GateSim gs(hgen.model.netlist);
+  std::uint64_t archCyclesPerRun = 0;
+  auto [iters, seconds] = timeLoop(
+      [&] {
+        gs.reset();
+        gs.loadMemory(hgen.model.storage[machine.imemIndex].mem, prog.words);
+        if (dmIndex >= 0)
+          for (const auto& [addr, value] : prog.dataInit)
+            gs.pokeMemory(hgen.model.storage[dmIndex].mem, addr, value);
+        if (!gs.runUntil(hgen.model.haltedReg, maxClocks))
+          throw IsdlError("hardware model did not halt");
+        archCyclesPerRun = gs.peekNet(hgen.model.cycleCountReg).toUint64();
+      },
+      0.8);
+  return double(iters) * double(archCyclesPerRun) / seconds;
+}
+
+inline void printRule(char c = '-', int width = 78) {
+  for (int i = 0; i < width; ++i) std::putchar(c);
+  std::putchar('\n');
+}
+
+}  // namespace isdl::bench
+
+#endif  // ISDL_BENCH_BENCH_UTIL_H

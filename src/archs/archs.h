@@ -1,0 +1,55 @@
+// Built-in architecture descriptions and benchmark programs.
+//
+// SPAM  — the paper's evaluation target (§6.1): a 4-way floating-point VLIW
+//         that executes 4 operations and 3 parallel moves per instruction.
+//         128-bit instruction word, 7 fields (U0..U3, M0..M2).
+// SPAM2 — the paper's second target: a simpler 3-way VLIW with a limited
+//         operation set. 64-bit word, 3 fields.
+// SREP  — a scalar 32-bit RISC used by tests and the quickstart example.
+// TDSP  — a small DSP with addressing-mode non-terminals (register indirect
+//         and post-increment), exercising the non-terminal machinery end to
+//         end, including in hardware generation.
+//
+// The texts are complete ISDL descriptions; load*() parses and checks them.
+
+#ifndef ISDL_ARCHS_ARCHS_H
+#define ISDL_ARCHS_ARCHS_H
+
+#include <memory>
+#include <vector>
+
+#include "isdl/model.h"
+
+namespace isdl::archs {
+
+const char* spamIsdl();
+const char* spam2Isdl();
+const char* srepIsdl();
+const char* tdspIsdl();
+
+std::unique_ptr<Machine> loadSpam();
+std::unique_ptr<Machine> loadSpam2();
+std::unique_ptr<Machine> loadSrep();
+std::unique_ptr<Machine> loadTdsp();
+
+/// A named assembly kernel for one architecture.
+struct Benchmark {
+  const char* name;
+  const char* description;
+  const char* source;
+  std::uint64_t maxCycles;  ///< generous budget; kernels halt well before
+};
+
+/// FP kernels for SPAM: dot product, FIR filter, 4x4 matrix multiply,
+/// vector scale-and-add (saxpy).
+std::vector<Benchmark> spamBenchmarks();
+/// Integer kernels for SPAM2.
+std::vector<Benchmark> spam2Benchmarks();
+/// Kernels for the scalar RISC.
+std::vector<Benchmark> srepBenchmarks();
+/// FIR filter using post-increment addressing for TDSP.
+std::vector<Benchmark> tdspBenchmarks();
+
+}  // namespace isdl::archs
+
+#endif  // ISDL_ARCHS_ARCHS_H

@@ -1,0 +1,384 @@
+// Benchmark kernels for the built-in architectures. These are the workloads
+// the evaluation harness runs on the XSIM simulators and on the generated
+// hardware models; tests verify their results against C++ mirrors.
+
+#include "archs/archs.h"
+
+namespace isdl::archs {
+
+namespace {
+
+// --- SPAM (floating point, VLIW) ----------------------------------------------
+
+// dot = sum_i a[i]*b[i] with a[i] = float(i), b[i] = float(2i), N = 64.
+// Result (bit pattern of 170688.0f) is stored to DM[128].
+const char* kSpamDot = R"(
+        li R1, 0          ; i
+        li R2, 64         ; N
+        li R3, 0          ; &a
+        li R4, 64         ; &b
+        li R8, 1
+        li R9, 0          ; acc = 0.0f
+init:   itof R5, R1
+        add R6, R1, R1    ; 2i
+        st R3, R5
+        itof R7, R6
+        st R4, R7
+        { add R1, R1, R8 | add R3, R3, R8 | add R4, R4, R8 }
+        bne R1, R2, init
+        li R1, 0
+        li R3, 0
+        li R4, 64
+loop:   ld R5, R3
+        ld R6, R4
+        fmul R7, R5, R6
+        fadd R9, R9, R7
+        { add R1, R1, R8 | add R3, R3, R8 | add R4, R4, R8 }
+        bne R1, R2, loop
+        li R10, 128
+        st R10, R9
+        halt
+)";
+
+// saxpy: y[i] = 2.5*x[i] + y[i], N = 64; x at 0, y at 64. Also exercises
+// fdiv (interlocked) to build the 2.5 constant and a parallel move unit.
+const char* kSpamSaxpy = R"(
+        li R1, 0          ; i
+        li R2, 64         ; N
+        li R3, 0          ; &x
+        li R4, 64         ; &y
+        li R8, 1
+        li R11, 5
+        itof R11, R11
+        li R12, 2
+        itof R12, R12
+        fdiv R11, R11, R12   ; 2.5f (stall-heavy on purpose)
+init:   itof R5, R1          ; x[i] = float(i)
+        st R3, R5
+        add R6, R1, R2       ; i + 64
+        itof R7, R6          ; y[i] = float(i + 64)
+        st R4, R7
+        { add R1, R1, R8 | add R3, R3, R8 | add R4, R4, R8 }
+        bne R1, R2, init
+        li R1, 0
+        li R3, 0
+        li R4, 64
+loop:   ld R5, R3
+        ld R6, R4
+        fmul R7, R5, R11
+        fadd R7, R7, R6
+        st R4, R7
+        { add R1, R1, R8 | add R3, R3, R8 | add R4, R4, R8 | mov R13, R7 }
+        bne R1, R2, loop
+        halt
+)";
+
+// 8-tap FIR over 64 samples: x[i] = float(i) at DM[0..63], h[k] = float(k+1)
+// at DM[64..71], y[n] = sum_k h[k]*x[n-k] for n = 7..63 at DM[80+n].
+const char* kSpamFir = R"(
+        li R8, 1
+        li R1, 0
+        li R2, 64
+xinit:  itof R5, R1
+        st R1, R5
+        add R1, R1, R8
+        bne R1, R2, xinit
+        li R1, 0
+        li R2, 8
+        li R3, 64            ; &h
+hinit:  add R6, R1, R8       ; k+1
+        itof R5, R6
+        st R3, R5
+        { add R1, R1, R8 | add R3, R3, R8 }
+        bne R1, R2, hinit
+        li R1, 7             ; n
+        li R2, 64
+        li R4, 8             ; taps
+        li R14, 80           ; &y
+outer:  li R9, 0             ; acc
+        li R3, 0             ; k
+kloop:  sub R5, R1, R3       ; n-k
+        ld R6, R5            ; x[n-k]
+        li R7, 64
+        add R7, R7, R3       ; &h[k]
+        ld R7, R7            ; h[k]
+        fmul R10, R6, R7
+        fadd R9, R9, R10
+        add R3, R3, R8
+        bne R3, R4, kloop
+        add R5, R14, R1      ; &y[n] = 80 + n
+        st R5, R9
+        add R1, R1, R8
+        bne R1, R2, outer
+        halt
+)";
+
+// 4x4 float matrix multiply: A[k] = float(k) at DM[0..15], B[k] = float(k+1)
+// at DM[16..31], C = A*B (row major) at DM[32..47].
+const char* kSpamMat4 = R"(
+        li R8, 1
+        li R13, 16
+        li R1, 0
+minit:  itof R5, R1
+        st R1, R5           ; A[k] = f(k)
+        add R6, R1, R13
+        add R7, R1, R8
+        itof R7, R7
+        st R6, R7           ; B[k] = f(k+1)
+        add R1, R1, R8
+        bne R1, R13, minit
+        li R15, 4
+        li R1, 0            ; i
+iloop:  li R2, 0            ; j
+jloop:  li R3, 0            ; k
+        li R9, 0            ; acc = 0.0f
+kloop:  mul R4, R1, R15
+        add R4, R4, R3      ; &A[i][k]
+        ld R5, R4
+        mul R6, R3, R15
+        add R6, R6, R2
+        add R6, R6, R13     ; &B[k][j]
+        ld R6, R6
+        fmul R7, R5, R6
+        fadd R9, R9, R7
+        add R3, R3, R8
+        bne R3, R15, kloop
+        mul R4, R1, R15
+        add R4, R4, R2
+        li R10, 32
+        add R4, R4, R10     ; &C[i][j]
+        st R4, R9
+        add R2, R2, R8
+        bne R2, R15, jloop
+        add R1, R1, R8
+        bne R1, R15, iloop
+        halt
+)";
+
+// Gather/scale/scatter through indexed addressing: DM[300+i] = 2*DM[i] for
+// i in [0, 16), with DM[i] pre-filled with i.
+const char* kSpamGather = R"(
+        li R1, 0
+        li R2, 16
+        li R3, 0          ; src base
+        li R4, 300        ; dst base
+        li R8, 1
+init:   st R1, R1
+        add R1, R1, R8
+        bne R1, R2, init
+        li R1, 0
+loop:   ldx R5, R3, R1
+        add R5, R5, R5
+        stx R4, R1, R5
+        add R1, R1, R8
+        bne R1, R2, loop
+        halt
+)";
+
+// --- SPAM2 (integer VLIW) -------------------------------------------------------
+
+// Integer dot product: a[i] = i, b[i] = 2i, N = 64, result (170688) -> DM[128].
+const char* kSpam2Dot = R"(
+        li R1, 0
+        li R2, 64
+        li R3, 0
+        li R4, 64
+        li R8, 1
+init:   st R3, R1
+        add R6, R1, R1
+        st R4, R6
+        { add R1, R1, R8 | add R3, R3, R8 }
+        add R4, R4, R8
+        bne R1, R2, init
+        li R1, 0
+        li R3, 0
+        li R4, 64
+        li R9, 0
+loop:   ld R5, R3
+        ld R6, R4
+        mul R7, R5, R6
+        add R9, R9, R7
+        { add R1, R1, R8 | add R3, R3, R8 }
+        add R4, R4, R8
+        bne R1, R2, loop
+        li R10, 128
+        st R10, R9
+        halt
+)";
+
+// Vector sum: s = sum_{i<64} (3i+1), result -> DM[200].
+const char* kSpam2VecSum = R"(
+        li R1, 0
+        li R2, 64
+        li R8, 1
+        li R9, 0
+        li R3, 3
+loop:   mul R5, R1, R3
+        add R5, R5, R8
+        { add R9, R9, R5 | add R1, R1, R8 }
+        bne R1, R2, loop
+        li R10, 200
+        st R10, R9
+        halt
+)";
+
+// --- SREP (scalar RISC) -----------------------------------------------------------
+
+// Iterative Fibonacci: fib(20) = 6765 -> DM[0].
+const char* kSrepFib = R"(
+        li R0, 0
+        li R1, 20
+        li R2, 0
+        li R3, 1
+        li R8, 1
+loop:   add R4, R2, R3
+        add R2, R3, R0
+        add R3, R4, R0
+        sub R1, R1, R8
+        bne R1, R0, loop
+        li R5, 0
+        st R5, R2
+        halt
+)";
+
+// Integer dot product with addi-based pointer arithmetic; result -> DM[128].
+const char* kSrepDot = R"(
+        li R1, 0
+        li R2, 64
+        li R3, 0
+        li R4, 64
+init:   st R3, R1
+        add R6, R1, R1
+        st R4, R6
+        addi R1, R1, 1
+        addi R3, R3, 1
+        addi R4, R4, 1
+        bne R1, R2, init
+        li R1, 0
+        li R3, 0
+        li R4, 64
+        li R9, 0
+loop:   ld R5, R3
+        ld R6, R4
+        mul R7, R5, R6
+        add R9, R9, R7
+        addi R1, R1, 1
+        addi R3, R3, 1
+        addi R4, R4, 1
+        bne R1, R2, loop
+        li R10, 128
+        st R10, R9
+        halt
+)";
+
+// Subtraction-based GCD(1071, 462) = 21 -> DM[1].
+const char* kSrepGcd = R"(
+        li R1, 1071
+        li R2, 462
+        li R0, 0
+loop:   beq R2, R0, done
+        blt R1, R2, swap
+        sub R1, R1, R2
+        jmp loop
+swap:   add R3, R1, R0
+        add R1, R2, R0
+        add R2, R3, R0
+        jmp loop
+done:   li R4, 1
+        st R4, R1
+        halt
+)";
+
+// --- TDSP (addressing-mode DSP) ----------------------------------------------------
+
+// 8-tap MAC using post-increment addressing: sum x[k]*h[k] with
+// x = {1..8} at DM[0..7], h = {2,4,..,16} at DM[16..23]; low half of the
+// accumulator is stored through an indirect destination to DM[32].
+const char* kTdspFir = R"(
+.dm 0 1
+.dm 1 2
+.dm 2 3
+.dm 3 4
+.dm 4 5
+.dm 5 6
+.dm 6 7
+.dm 7 8
+.dm 16 2
+.dm 17 4
+.dm 18 6
+.dm 19 8
+.dm 20 10
+.dm 21 12
+.dm 22 14
+.dm 23 16
+        lar A0, 0
+        lar A1, 16
+        li D0, 8
+        li D1, 1
+        clracc
+mloop:  mac (A0)+, (A1)+
+        sub D0, D1
+        bnz D0, mloop
+        sacl D2
+        lar A2, 32
+        move (A2), D2
+        halt
+)";
+
+// Memory copy through two post-increment pointers: DM[0..7] -> DM[40..47].
+const char* kTdspMemcpy = R"(
+.dm 0 11
+.dm 1 22
+.dm 2 33
+.dm 3 44
+.dm 4 55
+.dm 5 66
+.dm 6 77
+.dm 7 88
+        lar A0, 0
+        lar A1, 40
+        li D0, 8
+        li D1, 1
+cloop:  move (A1)+, (A0)+
+        sub D0, D1
+        bnz D0, cloop
+        halt
+)";
+
+}  // namespace
+
+std::vector<Benchmark> spamBenchmarks() {
+  return {
+      {"dot64", "64-element float dot product", kSpamDot, 100000},
+      {"saxpy64", "64-element saxpy with fdiv setup", kSpamSaxpy, 100000},
+      {"fir8x64", "8-tap FIR over 64 samples", kSpamFir, 400000},
+      {"gather16", "indexed-addressing gather/scale/scatter", kSpamGather,
+       10000},
+      {"mat4x4", "4x4 float matrix multiply", kSpamMat4, 100000},
+  };
+}
+
+std::vector<Benchmark> spam2Benchmarks() {
+  return {
+      {"dot64", "64-element integer dot product", kSpam2Dot, 100000},
+      {"vecsum64", "64-element vector reduction", kSpam2VecSum, 100000},
+  };
+}
+
+std::vector<Benchmark> srepBenchmarks() {
+  return {
+      {"fib20", "iterative Fibonacci(20)", kSrepFib, 10000},
+      {"dot64", "64-element integer dot product", kSrepDot, 100000},
+      {"gcd", "subtraction GCD(1071, 462)", kSrepGcd, 10000},
+  };
+}
+
+std::vector<Benchmark> tdspBenchmarks() {
+  return {
+      {"fir8", "8-tap MAC with post-increment addressing", kTdspFir, 10000},
+      {"memcpy8", "8-word copy through post-increment pointers", kTdspMemcpy,
+       10000},
+  };
+}
+
+}  // namespace isdl::archs

@@ -1,0 +1,411 @@
+// SPAM: the paper's 4-way floating-point VLIW (§6.1). Four operation units
+// (U0 carries the immediate/memory/control operations, U1..U3 are arithmetic
+// units) plus three parallel move units, in a 128-bit instruction word:
+//
+//   U0 [127:96]  U1 [95:75]  U2 [74:54]  U3 [53:33]
+//   M0 [32:22]   M1 [21:11]  M2 [10:0]
+//
+// The constraints model a bus shared between the memory unit and move unit
+// M2 (the paper's §4.1.1 example): a load/store cannot issue together with
+// an M2 move.
+
+#include "archs/archs.h"
+#include "isdl/parser.h"
+
+namespace isdl::archs {
+
+const char* spamIsdl() {
+  return R"ISDL(
+machine SPAM {
+  section format { word_width = 128; }
+
+  section storage {
+    instruction_memory IM width 128 depth 2048;
+    data_memory DM width 32 depth 2048;
+    register_file RF width 32 depth 16;
+    program_counter PC width 16;
+    control_register CC width 4;
+    alias CARRY = CC[0:0];
+    alias OVF   = CC[1:1];
+  }
+
+  section global_definitions {
+    token REG enum width 4 prefix "R" range 0 .. 15;
+    token U16 immediate unsigned width 16;
+    token S16 immediate signed width 16;
+  }
+
+  section instruction_set {
+    // ---- U0: immediate / memory / control unit -------------------------
+    field U0 {
+      operation nop() {
+        encode { inst[127:123] = 5'd0; }
+      }
+      operation add(d: REG, a: REG, b: REG) {
+        encode { inst[127:123] = 5'd1; inst[122:119] = d; inst[118:115] = a;
+                 inst[114:111] = b; }
+        action { RF[d] <- RF[a] + RF[b]; }
+        side_effect { CARRY <- carry(RF[a], RF[b]);
+                      OVF <- overflow(RF[a], RF[b]); }
+      }
+      operation sub(d: REG, a: REG, b: REG) {
+        encode { inst[127:123] = 5'd2; inst[122:119] = d; inst[118:115] = a;
+                 inst[114:111] = b; }
+        action { RF[d] <- RF[a] - RF[b]; }
+      }
+      operation and(d: REG, a: REG, b: REG) {
+        encode { inst[127:123] = 5'd3; inst[122:119] = d; inst[118:115] = a;
+                 inst[114:111] = b; }
+        action { RF[d] <- RF[a] & RF[b]; }
+      }
+      operation or(d: REG, a: REG, b: REG) {
+        encode { inst[127:123] = 5'd4; inst[122:119] = d; inst[118:115] = a;
+                 inst[114:111] = b; }
+        action { RF[d] <- RF[a] | RF[b]; }
+      }
+      operation xor(d: REG, a: REG, b: REG) {
+        encode { inst[127:123] = 5'd5; inst[122:119] = d; inst[118:115] = a;
+                 inst[114:111] = b; }
+        action { RF[d] <- RF[a] ^ RF[b]; }
+      }
+      operation shl(d: REG, a: REG, b: REG) {
+        encode { inst[127:123] = 5'd6; inst[122:119] = d; inst[118:115] = a;
+                 inst[114:111] = b; }
+        action { RF[d] <- RF[a] << RF[b][4:0]; }
+      }
+      operation shr(d: REG, a: REG, b: REG) {
+        encode { inst[127:123] = 5'd7; inst[122:119] = d; inst[118:115] = a;
+                 inst[114:111] = b; }
+        action { RF[d] <- RF[a] >> RF[b][4:0]; }
+      }
+      operation mul(d: REG, a: REG, b: REG) {
+        encode { inst[127:123] = 5'd8; inst[122:119] = d; inst[118:115] = a;
+                 inst[114:111] = b; }
+        action { RF[d] <- RF[a] * RF[b]; }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+      operation fadd(d: REG, a: REG, b: REG) {
+        encode { inst[127:123] = 5'd9; inst[122:119] = d; inst[118:115] = a;
+                 inst[114:111] = b; }
+        action { RF[d] <- fadd(RF[a], RF[b]); }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+      operation fsub(d: REG, a: REG, b: REG) {
+        encode { inst[127:123] = 5'd10; inst[122:119] = d; inst[118:115] = a;
+                 inst[114:111] = b; }
+        action { RF[d] <- fsub(RF[a], RF[b]); }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+      operation fmul(d: REG, a: REG, b: REG) {
+        encode { inst[127:123] = 5'd11; inst[122:119] = d; inst[118:115] = a;
+                 inst[114:111] = b; }
+        action { RF[d] <- fmul(RF[a], RF[b]); }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+      operation fdiv(d: REG, a: REG, b: REG) {
+        encode { inst[127:123] = 5'd12; inst[122:119] = d; inst[118:115] = a;
+                 inst[114:111] = b; }
+        action { RF[d] <- fdiv(RF[a], RF[b]); }
+        costs { stall = 3; }
+        timing { latency = 4; }
+      }
+      operation itof(d: REG, a: REG) {
+        encode { inst[127:123] = 5'd13; inst[122:119] = d; inst[118:115] = a; }
+        action { RF[d] <- itof(RF[a], 32); }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+      operation ftoi(d: REG, a: REG) {
+        encode { inst[127:123] = 5'd14; inst[122:119] = d; inst[118:115] = a; }
+        action { RF[d] <- ftoi(RF[a], 32); }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+      operation li(d: REG, i: S16) {
+        encode { inst[127:123] = 5'd15; inst[122:119] = d; inst[111:96] = i; }
+        action { RF[d] <- sext(i, 32); }
+      }
+      operation lui(d: REG, i: U16) {
+        encode { inst[127:123] = 5'd16; inst[122:119] = d; inst[111:96] = i; }
+        action { RF[d] <- concat(i, 16'd0); }
+      }
+      operation ld(d: REG, a: REG) {
+        encode { inst[127:123] = 5'd17; inst[122:119] = d; inst[118:115] = a; }
+        action { RF[d] <- DM[RF[a][10:0]]; }
+        costs { stall = 1; }
+        timing { latency = 2; }
+      }
+      operation st(a: REG, b: REG) {
+        encode { inst[127:123] = 5'd18; inst[118:115] = a; inst[114:111] = b; }
+        action { DM[RF[a][10:0]] <- RF[b]; }
+      }
+      // Indexed memory operations: the base+index address adder is shared
+      // with U1's adder by constraint (see the constraints section), the
+      // moral equivalent of the paper's shared load/store/move bus (§4.1.1).
+      operation ldx(d: REG, a: REG, b: REG) {
+        encode { inst[127:123] = 5'd23; inst[122:119] = d; inst[118:115] = a;
+                 inst[114:111] = b; }
+        action { RF[d] <- DM[(RF[a] + RF[b])[10:0]]; }
+        costs { stall = 1; }
+        timing { latency = 2; }
+      }
+      operation stx(a: REG, b: REG, v: REG) {
+        encode { inst[127:123] = 5'd24; inst[122:119] = a; inst[118:115] = b;
+                 inst[114:111] = v; }
+        action { DM[(RF[a] + RF[b])[10:0]] <- RF[v]; }
+      }
+      operation beq(a: REG, b: REG, t: U16) {
+        encode { inst[127:123] = 5'd19; inst[122:119] = a; inst[118:115] = b;
+                 inst[111:96] = t; }
+        action { if (RF[a] == RF[b]) { PC <- t; } }
+        costs { cycle = 2; }
+      }
+      operation bne(a: REG, b: REG, t: U16) {
+        encode { inst[127:123] = 5'd20; inst[122:119] = a; inst[118:115] = b;
+                 inst[111:96] = t; }
+        action { if (RF[a] != RF[b]) { PC <- t; } }
+        costs { cycle = 2; }
+      }
+      operation blt(a: REG, b: REG, t: U16) {
+        encode { inst[127:123] = 5'd21; inst[122:119] = a; inst[118:115] = b;
+                 inst[111:96] = t; }
+        action { if (slt(RF[a], RF[b])) { PC <- t; } }
+        costs { cycle = 2; }
+      }
+      operation jmp(t: U16) {
+        encode { inst[127:123] = 5'd22; inst[111:96] = t; }
+        action { PC <- t; }
+        costs { cycle = 2; }
+      }
+      operation halt() {
+        encode { inst[127:123] = 5'd31; }
+      }
+    }
+
+    // ---- U1..U3: arithmetic units ---------------------------------------
+    field U1 {
+      operation nop() { encode { inst[95:91] = 5'd0; } }
+      operation add(d: REG, a: REG, b: REG) {
+        encode { inst[95:91] = 5'd1; inst[90:87] = d; inst[86:83] = a;
+                 inst[82:79] = b; }
+        action { RF[d] <- RF[a] + RF[b]; }
+      }
+      operation sub(d: REG, a: REG, b: REG) {
+        encode { inst[95:91] = 5'd2; inst[90:87] = d; inst[86:83] = a;
+                 inst[82:79] = b; }
+        action { RF[d] <- RF[a] - RF[b]; }
+      }
+      operation and(d: REG, a: REG, b: REG) {
+        encode { inst[95:91] = 5'd3; inst[90:87] = d; inst[86:83] = a;
+                 inst[82:79] = b; }
+        action { RF[d] <- RF[a] & RF[b]; }
+      }
+      operation or(d: REG, a: REG, b: REG) {
+        encode { inst[95:91] = 5'd4; inst[90:87] = d; inst[86:83] = a;
+                 inst[82:79] = b; }
+        action { RF[d] <- RF[a] | RF[b]; }
+      }
+      operation xor(d: REG, a: REG, b: REG) {
+        encode { inst[95:91] = 5'd5; inst[90:87] = d; inst[86:83] = a;
+                 inst[82:79] = b; }
+        action { RF[d] <- RF[a] ^ RF[b]; }
+      }
+      operation mul(d: REG, a: REG, b: REG) {
+        encode { inst[95:91] = 5'd6; inst[90:87] = d; inst[86:83] = a;
+                 inst[82:79] = b; }
+        action { RF[d] <- RF[a] * RF[b]; }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+      operation fadd(d: REG, a: REG, b: REG) {
+        encode { inst[95:91] = 5'd9; inst[90:87] = d; inst[86:83] = a;
+                 inst[82:79] = b; }
+        action { RF[d] <- fadd(RF[a], RF[b]); }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+      operation fsub(d: REG, a: REG, b: REG) {
+        encode { inst[95:91] = 5'd10; inst[90:87] = d; inst[86:83] = a;
+                 inst[82:79] = b; }
+        action { RF[d] <- fsub(RF[a], RF[b]); }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+      operation fmul(d: REG, a: REG, b: REG) {
+        encode { inst[95:91] = 5'd11; inst[90:87] = d; inst[86:83] = a;
+                 inst[82:79] = b; }
+        action { RF[d] <- fmul(RF[a], RF[b]); }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+    }
+    field U2 {
+      operation nop() { encode { inst[74:70] = 5'd0; } }
+      operation add(d: REG, a: REG, b: REG) {
+        encode { inst[74:70] = 5'd1; inst[69:66] = d; inst[65:62] = a;
+                 inst[61:58] = b; }
+        action { RF[d] <- RF[a] + RF[b]; }
+      }
+      operation sub(d: REG, a: REG, b: REG) {
+        encode { inst[74:70] = 5'd2; inst[69:66] = d; inst[65:62] = a;
+                 inst[61:58] = b; }
+        action { RF[d] <- RF[a] - RF[b]; }
+      }
+      operation and(d: REG, a: REG, b: REG) {
+        encode { inst[74:70] = 5'd3; inst[69:66] = d; inst[65:62] = a;
+                 inst[61:58] = b; }
+        action { RF[d] <- RF[a] & RF[b]; }
+      }
+      operation or(d: REG, a: REG, b: REG) {
+        encode { inst[74:70] = 5'd4; inst[69:66] = d; inst[65:62] = a;
+                 inst[61:58] = b; }
+        action { RF[d] <- RF[a] | RF[b]; }
+      }
+      operation xor(d: REG, a: REG, b: REG) {
+        encode { inst[74:70] = 5'd5; inst[69:66] = d; inst[65:62] = a;
+                 inst[61:58] = b; }
+        action { RF[d] <- RF[a] ^ RF[b]; }
+      }
+      operation mul(d: REG, a: REG, b: REG) {
+        encode { inst[74:70] = 5'd6; inst[69:66] = d; inst[65:62] = a;
+                 inst[61:58] = b; }
+        action { RF[d] <- RF[a] * RF[b]; }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+      operation fadd(d: REG, a: REG, b: REG) {
+        encode { inst[74:70] = 5'd9; inst[69:66] = d; inst[65:62] = a;
+                 inst[61:58] = b; }
+        action { RF[d] <- fadd(RF[a], RF[b]); }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+      operation fsub(d: REG, a: REG, b: REG) {
+        encode { inst[74:70] = 5'd10; inst[69:66] = d; inst[65:62] = a;
+                 inst[61:58] = b; }
+        action { RF[d] <- fsub(RF[a], RF[b]); }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+      operation fmul(d: REG, a: REG, b: REG) {
+        encode { inst[74:70] = 5'd11; inst[69:66] = d; inst[65:62] = a;
+                 inst[61:58] = b; }
+        action { RF[d] <- fmul(RF[a], RF[b]); }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+    }
+    field U3 {
+      operation nop() { encode { inst[53:49] = 5'd0; } }
+      operation add(d: REG, a: REG, b: REG) {
+        encode { inst[53:49] = 5'd1; inst[48:45] = d; inst[44:41] = a;
+                 inst[40:37] = b; }
+        action { RF[d] <- RF[a] + RF[b]; }
+      }
+      operation sub(d: REG, a: REG, b: REG) {
+        encode { inst[53:49] = 5'd2; inst[48:45] = d; inst[44:41] = a;
+                 inst[40:37] = b; }
+        action { RF[d] <- RF[a] - RF[b]; }
+      }
+      operation and(d: REG, a: REG, b: REG) {
+        encode { inst[53:49] = 5'd3; inst[48:45] = d; inst[44:41] = a;
+                 inst[40:37] = b; }
+        action { RF[d] <- RF[a] & RF[b]; }
+      }
+      operation or(d: REG, a: REG, b: REG) {
+        encode { inst[53:49] = 5'd4; inst[48:45] = d; inst[44:41] = a;
+                 inst[40:37] = b; }
+        action { RF[d] <- RF[a] | RF[b]; }
+      }
+      operation xor(d: REG, a: REG, b: REG) {
+        encode { inst[53:49] = 5'd5; inst[48:45] = d; inst[44:41] = a;
+                 inst[40:37] = b; }
+        action { RF[d] <- RF[a] ^ RF[b]; }
+      }
+      operation mul(d: REG, a: REG, b: REG) {
+        encode { inst[53:49] = 5'd6; inst[48:45] = d; inst[44:41] = a;
+                 inst[40:37] = b; }
+        action { RF[d] <- RF[a] * RF[b]; }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+      operation fadd(d: REG, a: REG, b: REG) {
+        encode { inst[53:49] = 5'd9; inst[48:45] = d; inst[44:41] = a;
+                 inst[40:37] = b; }
+        action { RF[d] <- fadd(RF[a], RF[b]); }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+      operation fsub(d: REG, a: REG, b: REG) {
+        encode { inst[53:49] = 5'd10; inst[48:45] = d; inst[44:41] = a;
+                 inst[40:37] = b; }
+        action { RF[d] <- fsub(RF[a], RF[b]); }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+      operation fmul(d: REG, a: REG, b: REG) {
+        encode { inst[53:49] = 5'd11; inst[48:45] = d; inst[44:41] = a;
+                 inst[40:37] = b; }
+        action { RF[d] <- fmul(RF[a], RF[b]); }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+    }
+
+    // ---- M0..M2: parallel move units -------------------------------------
+    field M0 {
+      operation mnop() { encode { inst[32:30] = 3'd0; } }
+      operation mov(d: REG, s: REG) {
+        encode { inst[32:30] = 3'd1; inst[29:26] = d; inst[25:22] = s; }
+        action { RF[d] <- RF[s]; }
+      }
+    }
+    field M1 {
+      operation mnop() { encode { inst[21:19] = 3'd0; } }
+      operation mov(d: REG, s: REG) {
+        encode { inst[21:19] = 3'd1; inst[18:15] = d; inst[14:11] = s; }
+        action { RF[d] <- RF[s]; }
+      }
+    }
+    field M2 {
+      operation mnop() { encode { inst[10:8] = 3'd0; } }
+      operation mov(d: REG, s: REG) {
+        encode { inst[10:8] = 3'd1; inst[7:4] = d; inst[3:0] = s; }
+        action { RF[d] <- RF[s]; }
+      }
+    }
+  }
+
+  section constraints {
+    // M2 shares its bus with the memory unit (paper §4.1.1's example): a
+    // load or store cannot issue together with an M2 move.
+    never U0.ld & M2.mov;
+    never U0.st & M2.mov;
+    // The indexed-addressing adder borrows U1's adder: indexed memory
+    // operations cannot issue together with a U1 add. Constraint-informed
+    // resource sharing (rule R4) merges the three adders into one unit.
+    never U0.ldx & U1.add;
+    never U0.stx & U1.add;
+    // One physical integer-multiplier array serves units U0..U2 (U3 keeps a
+    // private one): integer multiplies on those units are mutually
+    // exclusive, and rule R4 folds their multipliers into one shared unit.
+    never U0.mul & U1.mul;
+    never U0.mul & U2.mul;
+    never U1.mul & U2.mul;
+  }
+
+  section optional {
+    halt_operation = "U0.halt";
+    description = "4-way floating-point VLIW: 4 operations + 3 parallel moves";
+  }
+}
+)ISDL";
+}
+
+std::unique_ptr<Machine> loadSpam() { return parseAndCheckIsdl(spamIsdl()); }
+
+}  // namespace isdl::archs

@@ -1,0 +1,132 @@
+// SPAM2: the paper's simpler 3-way VLIW with a limited number of operations
+// (§6.1, Table 2). 64-bit instruction word:
+//
+//   U0 [63:32]   U1 [31:11]   M0 [10:0]
+
+#include "archs/archs.h"
+#include "isdl/parser.h"
+
+namespace isdl::archs {
+
+const char* spam2Isdl() {
+  return R"ISDL(
+machine SPAM2 {
+  section format { word_width = 64; }
+
+  section storage {
+    instruction_memory IM width 64 depth 1024;
+    data_memory DM width 32 depth 1024;
+    register_file RF width 32 depth 16;
+    program_counter PC width 16;
+  }
+
+  section global_definitions {
+    token REG enum width 4 prefix "R" range 0 .. 15;
+    token U16 immediate unsigned width 16;
+    token S16 immediate signed width 16;
+  }
+
+  section instruction_set {
+    field U0 {
+      operation nop() { encode { inst[63:59] = 5'd0; } }
+      operation add(d: REG, a: REG, b: REG) {
+        encode { inst[63:59] = 5'd1; inst[58:55] = d; inst[54:51] = a;
+                 inst[50:47] = b; }
+        action { RF[d] <- RF[a] + RF[b]; }
+      }
+      operation sub(d: REG, a: REG, b: REG) {
+        encode { inst[63:59] = 5'd2; inst[58:55] = d; inst[54:51] = a;
+                 inst[50:47] = b; }
+        action { RF[d] <- RF[a] - RF[b]; }
+      }
+      operation mul(d: REG, a: REG, b: REG) {
+        encode { inst[63:59] = 5'd8; inst[58:55] = d; inst[54:51] = a;
+                 inst[50:47] = b; }
+        action { RF[d] <- RF[a] * RF[b]; }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+      operation li(d: REG, i: S16) {
+        encode { inst[63:59] = 5'd15; inst[58:55] = d; inst[47:32] = i; }
+        action { RF[d] <- sext(i, 32); }
+      }
+      operation ld(d: REG, a: REG) {
+        encode { inst[63:59] = 5'd17; inst[58:55] = d; inst[54:51] = a; }
+        action { RF[d] <- DM[RF[a][9:0]]; }
+        costs { stall = 1; }
+        timing { latency = 2; }
+      }
+      operation st(a: REG, b: REG) {
+        encode { inst[63:59] = 5'd18; inst[54:51] = a; inst[50:47] = b; }
+        action { DM[RF[a][9:0]] <- RF[b]; }
+      }
+      operation beq(a: REG, b: REG, t: U16) {
+        encode { inst[63:59] = 5'd19; inst[58:55] = a; inst[54:51] = b;
+                 inst[47:32] = t; }
+        action { if (RF[a] == RF[b]) { PC <- t; } }
+        costs { cycle = 2; }
+      }
+      operation bne(a: REG, b: REG, t: U16) {
+        encode { inst[63:59] = 5'd20; inst[58:55] = a; inst[54:51] = b;
+                 inst[47:32] = t; }
+        action { if (RF[a] != RF[b]) { PC <- t; } }
+        costs { cycle = 2; }
+      }
+      operation jmp(t: U16) {
+        encode { inst[63:59] = 5'd22; inst[47:32] = t; }
+        action { PC <- t; }
+        costs { cycle = 2; }
+      }
+      operation halt() { encode { inst[63:59] = 5'd31; } }
+    }
+
+    field U1 {
+      operation nop() { encode { inst[31:27] = 5'd0; } }
+      operation add(d: REG, a: REG, b: REG) {
+        encode { inst[31:27] = 5'd1; inst[26:23] = d; inst[22:19] = a;
+                 inst[18:15] = b; }
+        action { RF[d] <- RF[a] + RF[b]; }
+      }
+      operation sub(d: REG, a: REG, b: REG) {
+        encode { inst[31:27] = 5'd2; inst[26:23] = d; inst[22:19] = a;
+                 inst[18:15] = b; }
+        action { RF[d] <- RF[a] - RF[b]; }
+      }
+      operation and(d: REG, a: REG, b: REG) {
+        encode { inst[31:27] = 5'd3; inst[26:23] = d; inst[22:19] = a;
+                 inst[18:15] = b; }
+        action { RF[d] <- RF[a] & RF[b]; }
+      }
+      operation or(d: REG, a: REG, b: REG) {
+        encode { inst[31:27] = 5'd4; inst[26:23] = d; inst[22:19] = a;
+                 inst[18:15] = b; }
+        action { RF[d] <- RF[a] | RF[b]; }
+      }
+    }
+
+    field M0 {
+      operation mnop() { encode { inst[10:8] = 3'd0; } }
+      operation mov(d: REG, s: REG) {
+        encode { inst[10:8] = 3'd1; inst[7:4] = d; inst[3:0] = s; }
+        action { RF[d] <- RF[s]; }
+      }
+    }
+  }
+
+  section constraints {
+    // The single move unit shares the memory bus, as in SPAM.
+    never U0.ld & M0.mov;
+    never U0.st & M0.mov;
+  }
+
+  section optional {
+    halt_operation = "U0.halt";
+    description = "3-way integer VLIW with a reduced operation set";
+  }
+}
+)ISDL";
+}
+
+std::unique_ptr<Machine> loadSpam2() { return parseAndCheckIsdl(spam2Isdl()); }
+
+}  // namespace isdl::archs

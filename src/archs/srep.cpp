@@ -1,0 +1,136 @@
+// SREP: a scalar 32-bit RISC with a single operation field. Used by the
+// quickstart example, the exploration demo and as the simplest hardware-
+// generation target.
+
+#include "archs/archs.h"
+#include "isdl/parser.h"
+
+namespace isdl::archs {
+
+const char* srepIsdl() {
+  return R"ISDL(
+machine SREP {
+  section format { word_width = 32; }
+
+  section storage {
+    instruction_memory IM width 32 depth 1024;
+    data_memory DM width 32 depth 1024;
+    register_file RF width 32 depth 16;
+    program_counter PC width 16;
+    control_register CC width 2;
+    alias CARRY = CC[0:0];
+  }
+
+  section global_definitions {
+    token REG enum width 4 prefix "R" range 0 .. 15;
+    token U16 immediate unsigned width 16;
+    token S16 immediate signed width 16;
+  }
+
+  section instruction_set {
+    field EX {
+      operation nop() { encode { inst[31:26] = 6'd0; } }
+      operation add(d: REG, a: REG, b: REG) {
+        encode { inst[31:26] = 6'd1; inst[25:22] = d; inst[21:18] = a;
+                 inst[17:14] = b; }
+        action { RF[d] <- RF[a] + RF[b]; }
+        side_effect { CARRY <- carry(RF[a], RF[b]); }
+      }
+      operation sub(d: REG, a: REG, b: REG) {
+        encode { inst[31:26] = 6'd2; inst[25:22] = d; inst[21:18] = a;
+                 inst[17:14] = b; }
+        action { RF[d] <- RF[a] - RF[b]; }
+      }
+      operation and(d: REG, a: REG, b: REG) {
+        encode { inst[31:26] = 6'd3; inst[25:22] = d; inst[21:18] = a;
+                 inst[17:14] = b; }
+        action { RF[d] <- RF[a] & RF[b]; }
+      }
+      operation or(d: REG, a: REG, b: REG) {
+        encode { inst[31:26] = 6'd4; inst[25:22] = d; inst[21:18] = a;
+                 inst[17:14] = b; }
+        action { RF[d] <- RF[a] | RF[b]; }
+      }
+      operation xor(d: REG, a: REG, b: REG) {
+        encode { inst[31:26] = 6'd5; inst[25:22] = d; inst[21:18] = a;
+                 inst[17:14] = b; }
+        action { RF[d] <- RF[a] ^ RF[b]; }
+      }
+      operation shl(d: REG, a: REG, b: REG) {
+        encode { inst[31:26] = 6'd6; inst[25:22] = d; inst[21:18] = a;
+                 inst[17:14] = b; }
+        action { RF[d] <- RF[a] << RF[b][4:0]; }
+      }
+      operation shr(d: REG, a: REG, b: REG) {
+        encode { inst[31:26] = 6'd7; inst[25:22] = d; inst[21:18] = a;
+                 inst[17:14] = b; }
+        action { RF[d] <- RF[a] >> RF[b][4:0]; }
+      }
+      operation mul(d: REG, a: REG, b: REG) {
+        encode { inst[31:26] = 6'd8; inst[25:22] = d; inst[21:18] = a;
+                 inst[17:14] = b; }
+        action { RF[d] <- RF[a] * RF[b]; }
+        costs { stall = 0; }
+        timing { latency = 2; }
+      }
+      operation addi(d: REG, a: REG, i: S16) {
+        encode { inst[31:26] = 6'd9; inst[25:22] = d; inst[21:18] = a;
+                 inst[15:0] = i; }
+        action { RF[d] <- RF[a] + sext(i, 32); }
+      }
+      operation li(d: REG, i: S16) {
+        encode { inst[31:26] = 6'd10; inst[25:22] = d; inst[15:0] = i; }
+        action { RF[d] <- sext(i, 32); }
+      }
+      operation lui(d: REG, i: U16) {
+        encode { inst[31:26] = 6'd11; inst[25:22] = d; inst[15:0] = i; }
+        action { RF[d] <- concat(i, 16'd0); }
+      }
+      operation ld(d: REG, a: REG) {
+        encode { inst[31:26] = 6'd12; inst[25:22] = d; inst[21:18] = a; }
+        action { RF[d] <- DM[RF[a][9:0]]; }
+        costs { stall = 1; }
+        timing { latency = 2; }
+      }
+      operation st(a: REG, b: REG) {
+        encode { inst[31:26] = 6'd13; inst[21:18] = a; inst[17:14] = b; }
+        action { DM[RF[a][9:0]] <- RF[b]; }
+      }
+      operation beq(a: REG, b: REG, t: U16) {
+        encode { inst[31:26] = 6'd14; inst[25:22] = a; inst[21:18] = b;
+                 inst[15:0] = t; }
+        action { if (RF[a] == RF[b]) { PC <- t; } }
+        costs { cycle = 2; }
+      }
+      operation bne(a: REG, b: REG, t: U16) {
+        encode { inst[31:26] = 6'd15; inst[25:22] = a; inst[21:18] = b;
+                 inst[15:0] = t; }
+        action { if (RF[a] != RF[b]) { PC <- t; } }
+        costs { cycle = 2; }
+      }
+      operation blt(a: REG, b: REG, t: U16) {
+        encode { inst[31:26] = 6'd16; inst[25:22] = a; inst[21:18] = b;
+                 inst[15:0] = t; }
+        action { if (slt(RF[a], RF[b])) { PC <- t; } }
+        costs { cycle = 2; }
+      }
+      operation jmp(t: U16) {
+        encode { inst[31:26] = 6'd17; inst[15:0] = t; }
+        action { PC <- t; }
+        costs { cycle = 2; }
+      }
+      operation halt() { encode { inst[31:26] = 6'd63; } }
+    }
+  }
+
+  section optional {
+    halt_operation = "EX.halt";
+    description = "scalar 32-bit RISC";
+  }
+}
+)ISDL";
+}
+
+std::unique_ptr<Machine> loadSrep() { return parseAndCheckIsdl(srepIsdl()); }
+
+}  // namespace isdl::archs

@@ -1,0 +1,138 @@
+// TDSP: a small accumulator DSP whose operand syntax is built from
+// non-terminals — the paper's showcase for abstracting addressing modes
+// (§2.1.1). SRC/DST support register direct, register indirect "(A0)" and
+// post-increment "(A0)+" modes; the indirect modes add a cycle through the
+// option's extra costs, and post-increment contributes an option side effect.
+
+#include "archs/archs.h"
+#include "isdl/parser.h"
+
+namespace isdl::archs {
+
+const char* tdspIsdl() {
+  return R"ISDL(
+machine TDSP {
+  section format { word_width = 24; }
+
+  section storage {
+    instruction_memory IM width 24 depth 512;
+    data_memory DM width 16 depth 256;
+    register_file RF width 16 depth 8;
+    register_file AR width 8 depth 4;
+    register ACC width 32;
+    program_counter PC width 16;
+  }
+
+  section global_definitions {
+    token DR enum width 3 prefix "D" range 0 .. 7;
+    token ADR enum width 2 prefix "A" range 0 .. 3;
+    token U8 immediate unsigned width 8;
+    token S8 immediate signed width 8;
+
+    // Source operand: register, memory indirect, or memory post-increment.
+    nonterminal SRC returns width 4 {
+      option reg(r: DR) {
+        syntax r;
+        encode { $$[3] = 0; $$[2:0] = r; }
+        value { RF[r] }
+      }
+      option ind(a: ADR) {
+        syntax "(" a ")";
+        encode { $$[3] = 1; $$[2] = 0; $$[1:0] = a; }
+        value { DM[AR[a]] }
+        costs { cycle = 1; }
+      }
+      option postinc(a: ADR) {
+        syntax "(" a ")" "+";
+        encode { $$[3] = 1; $$[2] = 1; $$[1:0] = a; }
+        value { DM[AR[a]] }
+        side_effect { AR[a] <- AR[a] + 8'd1; }
+        costs { cycle = 1; }
+      }
+    }
+
+    // Destination operand: the same modes as lvalues.
+    nonterminal DST returns width 4 {
+      option reg(r: DR) {
+        syntax r;
+        encode { $$[3] = 0; $$[2:0] = r; }
+        value { RF[r] }
+        lvalue { RF[r] }
+      }
+      option ind(a: ADR) {
+        syntax "(" a ")";
+        encode { $$[3] = 1; $$[2] = 0; $$[1:0] = a; }
+        value { DM[AR[a]] }
+        lvalue { DM[AR[a]] }
+        costs { cycle = 1; }
+      }
+      option postinc(a: ADR) {
+        syntax "(" a ")" "+";
+        encode { $$[3] = 1; $$[2] = 1; $$[1:0] = a; }
+        value { DM[AR[a]] }
+        lvalue { DM[AR[a]] }
+        side_effect { AR[a] <- AR[a] + 8'd1; }
+        costs { cycle = 1; }
+      }
+    }
+  }
+
+  section instruction_set {
+    field EX {
+      operation nop() { encode { inst[23:19] = 5'd0; } }
+      operation move(d: DST, s: SRC) {
+        encode { inst[23:19] = 5'd1; inst[18:15] = d; inst[14:11] = s; }
+        action { d <- s; }
+      }
+      operation add(d: DR, s: SRC) {
+        encode { inst[23:19] = 5'd2; inst[18:16] = d; inst[14:11] = s; }
+        action { RF[d] <- RF[d] + s; }
+      }
+      operation mac(s1: SRC, s2: SRC) {
+        encode { inst[23:19] = 5'd3; inst[18:15] = s1; inst[14:11] = s2; }
+        action { ACC <- ACC + sext(s1, 32) * sext(s2, 32); }
+      }
+      operation clracc() {
+        encode { inst[23:19] = 5'd4; }
+        action { ACC <- 32'd0; }
+      }
+      operation sacl(d: DR) {
+        encode { inst[23:19] = 5'd5; inst[18:16] = d; }
+        action { RF[d] <- ACC[15:0]; }
+      }
+      operation sach(d: DR) {
+        encode { inst[23:19] = 5'd6; inst[18:16] = d; }
+        action { RF[d] <- ACC[31:16]; }
+      }
+      operation lar(a: ADR, i: U8) {
+        encode { inst[23:19] = 5'd7; inst[18:17] = a; inst[7:0] = i; }
+        action { AR[a] <- i; }
+      }
+      operation li(d: DR, i: S8) {
+        encode { inst[23:19] = 5'd8; inst[18:16] = d; inst[7:0] = i; }
+        action { RF[d] <- sext(i, 16); }
+      }
+      operation bnz(d: DR, t: U8) {
+        encode { inst[23:19] = 5'd9; inst[18:16] = d; inst[7:0] = t; }
+        action { if (RF[d] != 16'd0) { PC <- zext(t, 16); } }
+        costs { cycle = 2; }
+      }
+      operation sub(d: DR, s: SRC) {
+        encode { inst[23:19] = 5'd10; inst[18:16] = d; inst[14:11] = s; }
+        action { RF[d] <- RF[d] - s; }
+      }
+      operation halt() { encode { inst[23:19] = 5'd31; } }
+    }
+  }
+
+  section optional {
+    halt_operation = "EX.halt";
+    description = "accumulator DSP with addressing-mode non-terminals";
+  }
+}
+)ISDL";
+}
+
+std::unique_ptr<Machine> loadTdsp() { return parseAndCheckIsdl(tdspIsdl()); }
+
+}  // namespace isdl::archs

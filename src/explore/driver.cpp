@@ -1,0 +1,69 @@
+#include "explore/driver.h"
+
+#include "support/diag.h"
+
+namespace isdl::explore {
+
+ExplorationDriver::Result ExplorationDriver::run(
+    const Candidate& initial, const Generator& generate,
+    const Objective& objective, unsigned maxIterations) const {
+  Result result;
+  result.best = initial;
+  result.bestEval = evaluateIsdl(initial.isdlSource, initial.appSource,
+                                 options_);
+  if (!result.bestEval.ok)
+    throw IsdlError("initial candidate failed to evaluate: " +
+                    result.bestEval.error);
+  double bestObj = objective(result.bestEval);
+  result.history.push_back({0, initial.name, bestObj,
+                            result.bestEval.runtimeUs(),
+                            result.bestEval.dieSizeGridCells,
+                            result.bestEval.cycles, true, false});
+
+  for (unsigned iter = 1; iter <= maxIterations; ++iter) {
+    std::vector<Candidate> neighbours =
+        generate(result.best, result.bestEval, iter);
+    if (neighbours.empty()) break;
+
+    bool improved = false;
+    Candidate bestNeighbour;
+    Evaluation bestNeighbourEval;
+    double bestNeighbourObj = bestObj;
+    for (const Candidate& cand : neighbours) {
+      Evaluation ev = evaluateIsdl(cand.isdlSource, cand.appSource, options_);
+      Step step;
+      step.iteration = iter;
+      step.candidateName = cand.name;
+      if (!ev.ok) {
+        step.failed = true;
+        result.history.push_back(step);
+        continue;
+      }
+      step.objective = objective(ev);
+      step.runtimeUs = ev.runtimeUs();
+      step.dieSize = ev.dieSizeGridCells;
+      step.cycles = ev.cycles;
+      if (step.objective < bestNeighbourObj) {
+        bestNeighbourObj = step.objective;
+        bestNeighbour = cand;
+        bestNeighbourEval = ev;
+        improved = true;
+      }
+      result.history.push_back(step);
+    }
+    result.iterations = iter;
+    if (!improved) break;  // local optimum: Figure 1's loop terminates
+    result.best = bestNeighbour;
+    result.bestEval = bestNeighbourEval;
+    bestObj = bestNeighbourObj;
+    // Mark the accepted step.
+    for (auto it = result.history.rbegin(); it != result.history.rend(); ++it)
+      if (it->iteration == iter && it->candidateName == bestNeighbour.name) {
+        it->accepted = true;
+        break;
+      }
+  }
+  return result;
+}
+
+}  // namespace isdl::explore

@@ -1,0 +1,67 @@
+// Architecture exploration by iterative improvement (paper Figure 1): an
+// initial candidate is evaluated, neighbourhood candidates are generated
+// from the best one, and the loop repeats until no candidate improves the
+// objective.
+
+#ifndef ISDL_EXPLORE_DRIVER_H
+#define ISDL_EXPLORE_DRIVER_H
+
+#include <functional>
+#include <vector>
+
+#include "explore/evaluate.h"
+
+namespace isdl::explore {
+
+/// A candidate architecture plus the application compiled for it. The paper
+/// pairs the ISDL description with retargetably-compiled code; here the
+/// workload generator produces matched assembly (see spamfamily.h).
+struct Candidate {
+  std::string name;
+  std::string isdlSource;
+  std::string appSource;
+};
+
+class ExplorationDriver {
+ public:
+  /// Proposes neighbours of the current best candidate.
+  using Generator = std::function<std::vector<Candidate>(
+      const Candidate& best, const Evaluation& bestEval, unsigned iteration)>;
+  /// Lower is better. Default objective: area-delay product.
+  using Objective = std::function<double(const Evaluation&)>;
+
+  struct Step {
+    unsigned iteration = 0;
+    std::string candidateName;
+    double objective = 0;
+    double runtimeUs = 0;
+    double dieSize = 0;
+    std::uint64_t cycles = 0;
+    bool accepted = false;  ///< became the new best
+    bool failed = false;    ///< evaluation error (recorded, skipped)
+  };
+
+  struct Result {
+    Candidate best;
+    Evaluation bestEval;
+    std::vector<Step> history;
+    unsigned iterations = 0;
+  };
+
+  explicit ExplorationDriver(EvaluateOptions options = {})
+      : options_(options) {}
+
+  Result run(const Candidate& initial, const Generator& generate,
+             const Objective& objective, unsigned maxIterations = 16) const;
+
+  static double areaDelayObjective(const Evaluation& ev) {
+    return ev.areaDelay();
+  }
+
+ private:
+  EvaluateOptions options_;
+};
+
+}  // namespace isdl::explore
+
+#endif  // ISDL_EXPLORE_DRIVER_H

@@ -1,0 +1,65 @@
+// Candidate-architecture evaluation (paper Figure 1). One call runs the full
+// methodology for a candidate: generate the ILS, assemble and execute the
+// application to get cycle counts and utilization statistics, run HGEN and
+// the silicon compiler to get the cycle length and physical costs, and
+// optionally gate-simulate the hardware model for a switching-activity power
+// estimate.
+
+#ifndef ISDL_EXPLORE_EVALUATE_H
+#define ISDL_EXPLORE_EVALUATE_H
+
+#include <string>
+
+#include "isdl/model.h"
+#include "sim/xsim.h"
+
+namespace isdl::explore {
+
+struct EvaluateOptions {
+  std::uint64_t maxCycles = 10'000'000;
+  /// Gate-simulate the HW model with toggle counting for the power figure
+  /// (slow; off by default).
+  bool measurePower = false;
+  /// Power measurement clock budget.
+  std::uint64_t powerClocks = 20'000;
+};
+
+struct Evaluation {
+  std::string archName;
+
+  // From the ILS (performance measurements, Figure 1's upper path):
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t dataStallCycles = 0;
+  std::uint64_t structStallCycles = 0;
+  sim::Stats stats;
+
+  // From the hardware model (physical costs, Figure 1's left path):
+  double cycleNs = 0;
+  double dieSizeGridCells = 0;
+  std::size_t verilogLines = 0;
+  double powerMw = 0;  ///< 0 unless measurePower
+
+  /// The headline figure of merit: wall-clock runtime of the application.
+  double runtimeUs() const { return double(cycles) * cycleNs / 1000.0; }
+  /// Area-delay product, the usual exploration objective.
+  double areaDelay() const { return runtimeUs() * dieSizeGridCells; }
+
+  bool ok = false;
+  std::string error;
+};
+
+/// Evaluates `machine` running `appSource` (assembly text). Never throws;
+/// failures (bad ISDL, assembly errors, non-halting app) land in
+/// Evaluation::error.
+Evaluation evaluate(const Machine& machine, const std::string& appSource,
+                    const EvaluateOptions& options = {});
+
+/// Convenience: parse + check the ISDL text first.
+Evaluation evaluateIsdl(const std::string& isdlSource,
+                        const std::string& appSource,
+                        const EvaluateOptions& options = {});
+
+}  // namespace isdl::explore
+
+#endif  // ISDL_EXPLORE_EVALUATE_H

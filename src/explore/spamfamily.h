@@ -1,0 +1,54 @@
+// The SPAM architecture family: a parameterised generator of SPAM-like
+// integer VLIWs plus a matched workload generator. This is the search space
+// of the Figure-1 exploration example and the fig1 bench.
+//
+// Parameters:
+//   aluUnits  (1..4)  — U0 (always present: memory/control/mul) plus up to
+//                       three extra add/sub/logic units U1..U3
+//   moveUnits (0..3)  — parallel register-move fields M0..M2
+//
+// The instruction word shrinks with the configuration
+// (32 + 21*(aluUnits-1) + 11*moveUnits bits), so smaller machines genuinely
+// pay less instruction-memory and decode area.
+//
+// The workload generator emits the 64-element integer dot product compiled
+// for the candidate: per-iteration pointer/index adds are packed across the
+// available ALU fields, so wider machines finish in fewer cycles. This
+// stands in for the paper's retargetable compiler (reference [2]) at the
+// scale the exploration loop needs.
+
+#ifndef ISDL_EXPLORE_SPAMFAMILY_H
+#define ISDL_EXPLORE_SPAMFAMILY_H
+
+#include <vector>
+
+#include "explore/driver.h"
+
+namespace isdl::explore {
+
+struct SpamVariantParams {
+  unsigned aluUnits = 1;   ///< 1..4
+  unsigned moveUnits = 0;  ///< 0..3
+
+  bool valid() const {
+    return aluUnits >= 1 && aluUnits <= 4 && moveUnits <= 3;
+  }
+  std::string name() const;
+};
+
+/// Builds the ISDL description and the matched dot-product application.
+Candidate makeSpamVariant(const SpamVariantParams& params);
+
+/// Neighbourhood for iterative improvement: all single-parameter tweaks
+/// (±1 ALU unit, ±1 move unit) of `params` that remain valid.
+std::vector<SpamVariantParams> spamNeighbours(const SpamVariantParams& params);
+
+/// Generator adapter for ExplorationDriver (parses the parameters back out
+/// of the candidate name).
+std::vector<Candidate> spamFamilyGenerator(const Candidate& best,
+                                           const Evaluation& bestEval,
+                                           unsigned iteration);
+
+}  // namespace isdl::explore
+
+#endif  // ISDL_EXPLORE_SPAMFAMILY_H

@@ -1,0 +1,374 @@
+#include "hw/netlist.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+
+#include "support/diag.h"
+#include "support/strings.h"
+
+namespace isdl::hw {
+
+const char* nodeKindName(NodeKind k) {
+  switch (k) {
+    case NodeKind::Input: return "input";
+    case NodeKind::Const: return "const";
+    case NodeKind::Unary: return "unary";
+    case NodeKind::Binary: return "binary";
+    case NodeKind::AddSub: return "addsub";
+    case NodeKind::Mux: return "mux";
+    case NodeKind::Slice: return "slice";
+    case NodeKind::Concat: return "concat";
+    case NodeKind::ZExt: return "zext";
+    case NodeKind::SExt: return "sext";
+    case NodeKind::Trunc: return "trunc";
+    case NodeKind::IToF: return "itof";
+    case NodeKind::FToI: return "ftoi";
+    case NodeKind::Reg: return "reg";
+    case NodeKind::MemRead: return "memread";
+  }
+  return "?";
+}
+
+NetId Netlist::push(Node node) {
+  nodes.push_back(std::move(node));
+  return static_cast<NetId>(nodes.size() - 1);
+}
+
+NetId Netlist::addInput(std::string name, unsigned width) {
+  Node n;
+  n.kind = NodeKind::Input;
+  n.width = width;
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NetId Netlist::addConst(BitVector value, std::string name) {
+  Node n;
+  n.kind = NodeKind::Const;
+  n.width = value.width();
+  n.constValue = std::move(value);
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NetId Netlist::addUnary(rtl::UnOp op, NetId a, std::string name) {
+  Node n;
+  n.kind = NodeKind::Unary;
+  n.unOp = op;
+  switch (op) {
+    case rtl::UnOp::LogNot:
+    case rtl::UnOp::RedAnd:
+    case rtl::UnOp::RedOr:
+    case rtl::UnOp::RedXor:
+      n.width = 1;
+      break;
+    default:
+      n.width = nodes[a].width;
+  }
+  n.ins = {a};
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NetId Netlist::addBinary(rtl::BinOp op, NetId a, NetId b, std::string name) {
+  Node n;
+  n.kind = NodeKind::Binary;
+  n.binOp = op;
+  n.width = rtl::isComparison(op) || op == rtl::BinOp::LogAnd ||
+                    op == rtl::BinOp::LogOr
+                ? 1
+                : nodes[a].width;
+  n.ins = {a, b};
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NetId Netlist::addAddSub(NetId a, NetId b, NetId sub, std::string name) {
+  Node n;
+  n.kind = NodeKind::AddSub;
+  n.width = nodes[a].width;
+  n.ins = {a, b, sub};
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NetId Netlist::addMux(NetId sel, NetId whenTrue, NetId whenFalse,
+                      std::string name) {
+  if (whenTrue == whenFalse) return whenTrue;  // select is irrelevant
+  Node n;
+  n.kind = NodeKind::Mux;
+  n.width = nodes[whenTrue].width;
+  n.ins = {sel, whenTrue, whenFalse};
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NetId Netlist::addSlice(NetId a, unsigned hi, unsigned lo, std::string name) {
+  Node n;
+  n.kind = NodeKind::Slice;
+  n.width = hi - lo + 1;
+  n.hi = hi;
+  n.lo = lo;
+  n.ins = {a};
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NetId Netlist::addConcat(std::vector<NetId> parts, std::string name) {
+  Node n;
+  n.kind = NodeKind::Concat;
+  n.width = 0;
+  for (NetId p : parts) n.width += nodes[p].width;
+  n.ins = std::move(parts);
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NetId Netlist::addExt(NodeKind kind, NetId a, unsigned width,
+                      std::string name) {
+  Node n;
+  n.kind = kind;
+  n.width = width;
+  n.ins = {a};
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+NetId Netlist::addReg(std::string name, unsigned width) {
+  Node n;
+  n.kind = NodeKind::Reg;
+  n.width = width;
+  n.name = std::move(name);
+  n.ins = {kNoNet, kNoNet};
+  return push(std::move(n));
+}
+
+void Netlist::setRegInputs(NetId reg, NetId next, NetId enable) {
+  nodes[reg].ins = {next, enable};
+}
+
+int Netlist::addMemory(std::string name, unsigned width, std::uint64_t depth) {
+  Memory m;
+  m.name = std::move(name);
+  m.width = width;
+  m.depth = depth;
+  memories.push_back(std::move(m));
+  return static_cast<int>(memories.size() - 1);
+}
+
+NetId Netlist::addMemRead(int memId, NetId addr, std::string name) {
+  Node n;
+  n.kind = NodeKind::MemRead;
+  n.width = memories[memId].width;
+  n.memId = memId;
+  n.ins = {addr};
+  n.name = std::move(name);
+  return push(std::move(n));
+}
+
+void Netlist::addMemWrite(int memId, NetId enable, NetId addr, NetId data) {
+  memories[memId].writePorts.push_back({enable, addr, data});
+}
+
+void Netlist::addOutput(std::string name, NetId net) {
+  outputs.push_back({std::move(name), net});
+}
+
+NetId Netlist::one() {
+  if (cachedOne_ == kNoNet) cachedOne_ = addConst(BitVector(1, 1));
+  return cachedOne_;
+}
+
+NetId Netlist::zero() {
+  if (cachedZero_ == kNoNet) cachedZero_ = addConst(BitVector(1, 0));
+  return cachedZero_;
+}
+
+NetId Netlist::andNet(NetId a, NetId b) {
+  auto constVal = [&](NetId x) -> int {
+    if (nodes[x].kind != NodeKind::Const) return -1;
+    return nodes[x].constValue.isZero() ? 0 : 1;
+  };
+  if (constVal(a) == 1) return b;
+  if (constVal(b) == 1) return a;
+  if (constVal(a) == 0 || constVal(b) == 0) return zero();
+  return addBinary(rtl::BinOp::And, a, b);
+}
+
+NetId Netlist::orNet(NetId a, NetId b) {
+  auto constVal = [&](NetId x) -> int {
+    if (nodes[x].kind != NodeKind::Const) return -1;
+    return nodes[x].constValue.isZero() ? 0 : 1;
+  };
+  if (constVal(a) == 0) return b;
+  if (constVal(b) == 0) return a;
+  if (constVal(a) == 1 || constVal(b) == 1) return one();
+  return addBinary(rtl::BinOp::Or, a, b);
+}
+
+NetId Netlist::notNet(NetId a) {
+  if (nodes[a].kind == NodeKind::Const)
+    return nodes[a].constValue.isZero() ? one() : zero();
+  return addUnary(rtl::UnOp::BitNot, a);
+}
+
+NetId Netlist::withSlice(NetId base, unsigned hi, unsigned lo, NetId part) {
+  unsigned w = nodes[base].width;
+  std::vector<NetId> parts;
+  if (hi + 1 < w) parts.push_back(addSlice(base, w - 1, hi + 1));
+  parts.push_back(part);
+  if (lo > 0) parts.push_back(addSlice(base, lo - 1, 0));
+  if (parts.size() == 1) return parts[0];
+  return addConcat(std::move(parts));
+}
+
+std::vector<NetId> Netlist::topoOrder() const {
+  const std::size_t n = nodes.size();
+  std::vector<int> indegree(n, 0);
+  std::vector<std::vector<NetId>> users(n);
+  auto isSource = [&](NetId id) {
+    NodeKind k = nodes[id].kind;
+    return k == NodeKind::Input || k == NodeKind::Const ||
+           k == NodeKind::Reg;
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    if (isSource(static_cast<NetId>(i))) continue;
+    for (NetId in : nodes[i].ins) {
+      if (in == kNoNet) continue;
+      // Edges only from combinational producers; Reg outputs are state.
+      ++indegree[i];
+      users[in].push_back(static_cast<NetId>(i));
+    }
+  }
+  std::vector<NetId> order;
+  order.reserve(n);
+  std::vector<NetId> ready;
+  for (std::size_t i = 0; i < n; ++i)
+    if (indegree[i] == 0) ready.push_back(static_cast<NetId>(i));
+  while (!ready.empty()) {
+    NetId id = ready.back();
+    ready.pop_back();
+    order.push_back(id);
+    for (NetId u : users[id]) {
+      if (--indegree[u] == 0) ready.push_back(u);
+    }
+  }
+  if (order.size() != n)
+    throw IsdlError("combinational cycle in generated netlist");
+  return order;
+}
+
+std::vector<NetId> Netlist::cse() {
+  // Value-number nodes in creation order; combinational nodes' inputs always
+  // precede them, so one forward pass canonicalises everything. Registers,
+  // inputs and (obviously) nothing stateful merge.
+  struct Key {
+    NodeKind kind;
+    unsigned width;
+    std::vector<NetId> ins;
+    std::string payload;
+    bool operator<(const Key& o) const {
+      return std::tie(kind, width, ins, payload) <
+             std::tie(o.kind, o.width, o.ins, o.payload);
+    }
+  };
+  std::map<Key, NetId> table;
+  std::vector<NetId> canon(nodes.size());
+  for (std::size_t i = 0; i < nodes.size(); ++i) {
+    Node& n = nodes[i];
+    for (NetId& in : n.ins)
+      if (in != kNoNet && n.kind != NodeKind::Reg) in = canon[in];
+    if (n.kind == NodeKind::Reg || n.kind == NodeKind::Input) {
+      canon[i] = static_cast<NetId>(i);
+      continue;
+    }
+    Key key{n.kind, n.width, n.ins,
+            cat(static_cast<int>(n.unOp), ",", static_cast<int>(n.binOp),
+                ",", n.hi, ",", n.lo, ",", n.memId, ",",
+                n.kind == NodeKind::Const ? n.constValue.toHexString() : "")};
+    auto [it, inserted] = table.emplace(std::move(key), static_cast<NetId>(i));
+    canon[i] = it->second;
+  }
+  // Reg inputs and external references rewire to canonical nodes.
+  for (auto& n : nodes)
+    if (n.kind == NodeKind::Reg)
+      for (NetId& in : n.ins)
+        if (in != kNoNet) in = canon[in];
+  for (auto& m : memories)
+    for (auto& p : m.writePorts) {
+      p.enable = canon[p.enable];
+      p.addr = canon[p.addr];
+      p.data = canon[p.data];
+    }
+  for (auto& out : outputs) out.net = canon[out.net];
+  if (cachedOne_ != kNoNet) cachedOne_ = canon[cachedOne_];
+  if (cachedZero_ != kNoNet) cachedZero_ = canon[cachedZero_];
+
+  // Duplicates are now dead; sweep and compose the maps.
+  std::vector<NetId> sweep = sweepDead();
+  std::vector<NetId> combined(canon.size(), kNoNet);
+  for (std::size_t i = 0; i < canon.size(); ++i)
+    combined[i] = sweep[canon[i]];
+  return combined;
+}
+
+std::vector<NetId> Netlist::sweepDead() {
+  const std::size_t n = nodes.size();
+  std::vector<bool> live(n, false);
+  std::vector<NetId> stack;
+  auto mark = [&](NetId id) {
+    if (id != kNoNet && !live[id]) {
+      live[id] = true;
+      stack.push_back(id);
+    }
+  };
+  for (const auto& out : outputs) mark(out.net);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (nodes[i].kind == NodeKind::Reg || nodes[i].kind == NodeKind::Input)
+      mark(static_cast<NetId>(i));
+  }
+  for (const auto& m : memories) {
+    for (const auto& p : m.writePorts) {
+      mark(p.enable);
+      mark(p.addr);
+      mark(p.data);
+    }
+  }
+  while (!stack.empty()) {
+    NetId id = stack.back();
+    stack.pop_back();
+    for (NetId in : nodes[id].ins) mark(in);
+  }
+
+  std::vector<NetId> remap(n, kNoNet);
+  std::vector<Node> kept;
+  kept.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!live[i]) continue;
+    remap[i] = static_cast<NetId>(kept.size());
+    kept.push_back(std::move(nodes[i]));
+  }
+  for (auto& node : kept)
+    for (NetId& in : node.ins)
+      if (in != kNoNet) in = remap[in];
+  nodes = std::move(kept);
+  for (auto& m : memories)
+    for (auto& p : m.writePorts) {
+      p.enable = remap[p.enable];
+      p.addr = remap[p.addr];
+      p.data = remap[p.data];
+    }
+  for (auto& out : outputs) out.net = remap[out.net];
+  cachedOne_ = cachedOne_ == kNoNet ? kNoNet : remap[cachedOne_];
+  cachedZero_ = cachedZero_ == kNoNet ? kNoNet : remap[cachedZero_];
+  return remap;
+}
+
+std::size_t Netlist::countNodes(NodeKind kind) const {
+  return static_cast<std::size_t>(
+      std::count_if(nodes.begin(), nodes.end(),
+                    [&](const Node& n) { return n.kind == kind; }));
+}
+
+}  // namespace isdl::hw

@@ -1,0 +1,151 @@
+// Word-level structural netlist: the target of HGEN's ISDL-to-hardware
+// lowering (paper §4). Every combinational node produces exactly one net;
+// sequential state is registers (Reg nodes) and memories (Memory elements
+// with combinational read ports and clocked write ports).
+//
+// The same netlist feeds three consumers:
+//   * hw/verilog.h    — synthesizable-Verilog emission,
+//   * synth/mapper.h  — technology mapping / area / timing estimation,
+//   * synth/gatesim.h — the cycle-based netlist simulator used as the
+//                       paper's "Verilog-XL" comparator.
+
+#ifndef ISDL_HW_NETLIST_H
+#define ISDL_HW_NETLIST_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rtl/ir.h"
+#include "support/bitvector.h"
+
+namespace isdl::hw {
+
+enum class NodeKind {
+  Input,    ///< external input port
+  Const,    ///< literal value
+  Unary,    ///< rtl::UnOp applied to ins[0]
+  Binary,   ///< rtl::BinOp applied to ins[0], ins[1]
+  AddSub,   ///< shared adder/subtractor: ins[2] ? ins[0]-ins[1] : ins[0]+ins[1]
+  Mux,      ///< ins[0] ? ins[1] : ins[2] (sel is 1 bit)
+  Slice,    ///< ins[0][hi:lo]
+  Concat,   ///< {ins[0], ins[1], ...} — ins[0] is most significant
+  ZExt,
+  SExt,
+  Trunc,
+  IToF,     ///< int -> IEEE float macro block
+  FToI,     ///< IEEE float -> int macro block
+  Reg,      ///< clocked register; ins[0] = next value, ins[1] = enable (or -1)
+  MemRead,  ///< combinational memory read; ins[0] = address
+};
+
+const char* nodeKindName(NodeKind k);
+
+using NetId = int;
+inline constexpr NetId kNoNet = -1;
+
+struct Node {
+  NodeKind kind = NodeKind::Const;
+  unsigned width = 0;
+  std::string name;        ///< optional; emitted as the Verilog wire name
+  std::vector<NetId> ins;  ///< input nets (Reg: {next, enable-or-kNoNet})
+
+  BitVector constValue;             // Const
+  rtl::UnOp unOp = rtl::UnOp::BitNot;   // Unary
+  rtl::BinOp binOp = rtl::BinOp::Add;   // Binary
+  unsigned hi = 0, lo = 0;          // Slice
+  int memId = -1;                   // MemRead
+};
+
+/// A clocked write port of a memory. Always full-width (read-modify-write
+/// slicing is resolved by the datapath builder).
+struct MemWritePort {
+  NetId enable = kNoNet;  ///< 1-bit
+  NetId addr = kNoNet;
+  NetId data = kNoNet;
+};
+
+struct Memory {
+  std::string name;
+  unsigned width = 0;
+  std::uint64_t depth = 0;
+  std::vector<MemWritePort> writePorts;
+};
+
+struct OutputPort {
+  std::string name;
+  NetId net = kNoNet;
+};
+
+class Netlist {
+ public:
+  std::vector<Node> nodes;
+  std::vector<Memory> memories;
+  std::vector<OutputPort> outputs;
+
+  // --- builders (return the new node's net id) -------------------------------
+  NetId addInput(std::string name, unsigned width);
+  NetId addConst(BitVector value, std::string name = {});
+  NetId addUnary(rtl::UnOp op, NetId a, std::string name = {});
+  NetId addBinary(rtl::BinOp op, NetId a, NetId b, std::string name = {});
+  NetId addAddSub(NetId a, NetId b, NetId sub, std::string name = {});
+  NetId addMux(NetId sel, NetId whenTrue, NetId whenFalse,
+               std::string name = {});
+  NetId addSlice(NetId a, unsigned hi, unsigned lo, std::string name = {});
+  NetId addConcat(std::vector<NetId> parts, std::string name = {});
+  NetId addExt(NodeKind kind, NetId a, unsigned width, std::string name = {});
+  /// Creates a register whose next/enable inputs are wired later via
+  /// setRegInputs (registers usually feed logic that computes their next
+  /// value, so they are created first).
+  NetId addReg(std::string name, unsigned width);
+  void setRegInputs(NetId reg, NetId next, NetId enable = kNoNet);
+  int addMemory(std::string name, unsigned width, std::uint64_t depth);
+  NetId addMemRead(int memId, NetId addr, std::string name = {});
+  void addMemWrite(int memId, NetId enable, NetId addr, NetId data);
+  void addOutput(std::string name, NetId net);
+
+  unsigned widthOf(NetId id) const { return nodes[id].width; }
+
+  // --- conveniences used heavily by the datapath builder ---------------------
+  /// 1-bit constants.
+  NetId one();
+  NetId zero();
+  /// a AND b for 1-bit control nets, folding constants.
+  NetId andNet(NetId a, NetId b);
+  /// a OR b for 1-bit control nets, folding constants.
+  NetId orNet(NetId a, NetId b);
+  /// NOT a for 1-bit control nets.
+  NetId notNet(NetId a);
+  /// Replaces bits [hi:lo] of `base` with `part` (builds slices + concat).
+  NetId withSlice(NetId base, unsigned hi, unsigned lo, NetId part);
+
+  /// Topological order of combinational evaluation: every node appears after
+  /// the nets it reads, with Reg outputs, Inputs and Consts as sources.
+  /// Throws IsdlError on a combinational cycle.
+  std::vector<NetId> topoOrder() const;
+
+  /// Counts by kind (for reports and tests).
+  std::size_t countNodes(NodeKind kind) const;
+
+  /// Removes nodes unreachable from the design's roots (outputs, registers
+  /// and their fan-in, memory write ports, inputs). Returns the old->new
+  /// net-id map, with kNoNet for removed nodes — callers holding net ids
+  /// must remap them.
+  std::vector<NetId> sweepDead();
+
+  /// Common-subexpression elimination by hash-consing: structurally
+  /// identical combinational nodes collapse to one. This matters a lot for
+  /// generated datapaths — operations of one field extract operands from the
+  /// same instruction bits, so their operand networks unify, which in turn
+  /// lets resource sharing add units without operand muxes. Returns the
+  /// old->new map (dead duplicates removed via sweepDead internally).
+  std::vector<NetId> cse();
+
+ private:
+  NetId push(Node node);
+  NetId cachedOne_ = kNoNet, cachedZero_ = kNoNet;
+};
+
+}  // namespace isdl::hw
+
+#endif  // ISDL_HW_NETLIST_H

@@ -1,0 +1,341 @@
+#include "isdl/lexer.h"
+
+#include <cctype>
+
+#include "support/strings.h"
+
+namespace isdl {
+
+const char* tokName(Tok t) {
+  switch (t) {
+    case Tok::Identifier: return "identifier";
+    case Tok::Integer: return "integer";
+    case Tok::SizedInt: return "sized integer";
+    case Tok::String: return "string";
+    case Tok::LBrace: return "'{'";
+    case Tok::RBrace: return "'}'";
+    case Tok::LParen: return "'('";
+    case Tok::RParen: return "')'";
+    case Tok::LBracket: return "'['";
+    case Tok::RBracket: return "']'";
+    case Tok::Semi: return "';'";
+    case Tok::Comma: return "','";
+    case Tok::Colon: return "':'";
+    case Tok::Question: return "'?'";
+    case Tok::Dot: return "'.'";
+    case Tok::DotDot: return "'..'";
+    case Tok::Dollar2: return "'$$'";
+    case Tok::Assign: return "'='";
+    case Tok::Arrow: return "'<-'";
+    case Tok::Plus: return "'+'";
+    case Tok::Minus: return "'-'";
+    case Tok::Star: return "'*'";
+    case Tok::Slash: return "'/'";
+    case Tok::Percent: return "'%'";
+    case Tok::Amp: return "'&'";
+    case Tok::Pipe: return "'|'";
+    case Tok::Caret: return "'^'";
+    case Tok::Tilde: return "'~'";
+    case Tok::Bang: return "'!'";
+    case Tok::AmpAmp: return "'&&'";
+    case Tok::PipePipe: return "'||'";
+    case Tok::Shl: return "'<<'";
+    case Tok::Shr: return "'>>'";
+    case Tok::AShr: return "'>>>'";
+    case Tok::EqEq: return "'=='";
+    case Tok::BangEq: return "'!='";
+    case Tok::Lt: return "'<'";
+    case Tok::Le: return "'<='";
+    case Tok::Gt: return "'>'";
+    case Tok::Ge: return "'>='";
+    case Tok::EndOfFile: return "end of input";
+  }
+  return "?";
+}
+
+namespace {
+
+class Lexer {
+ public:
+  Lexer(std::string_view src, DiagnosticEngine& diags)
+      : src_(src), diags_(diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> out;
+    for (;;) {
+      skipWhitespaceAndComments();
+      Token t = next();
+      bool end = t.is(Tok::EndOfFile);
+      out.push_back(std::move(t));
+      if (end) break;
+    }
+    return out;
+  }
+
+ private:
+  std::string_view src_;
+  DiagnosticEngine& diags_;
+  std::size_t pos_ = 0;
+  unsigned line_ = 1, col_ = 1;
+
+  bool atEnd() const { return pos_ >= src_.size(); }
+  char peek(std::size_t off = 0) const {
+    return pos_ + off < src_.size() ? src_[pos_ + off] : '\0';
+  }
+  char advance() {
+    char c = src_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      col_ = 1;
+    } else {
+      ++col_;
+    }
+    return c;
+  }
+  SourceLoc here() const { return {line_, col_}; }
+
+  void skipWhitespaceAndComments() {
+    for (;;) {
+      if (atEnd()) return;
+      char c = peek();
+      if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+        advance();
+      } else if (c == '#' || (c == '/' && peek(1) == '/')) {
+        while (!atEnd() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        SourceLoc start = here();
+        advance();
+        advance();
+        while (!atEnd() && !(peek() == '*' && peek(1) == '/')) advance();
+        if (atEnd()) {
+          diags_.error(start, "unterminated block comment");
+          return;
+        }
+        advance();
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token make(Tok kind, SourceLoc loc, std::string text = {}) {
+    Token t;
+    t.kind = kind;
+    t.loc = loc;
+    t.text = std::move(text);
+    return t;
+  }
+
+  Token next() {
+    SourceLoc loc = here();
+    if (atEnd()) return make(Tok::EndOfFile, loc);
+    char c = peek();
+
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+      return lexIdentifier(loc);
+    if (std::isdigit(static_cast<unsigned char>(c))) return lexNumber(loc);
+    if (c == '"') return lexString(loc);
+
+    advance();
+    switch (c) {
+      case '{': return make(Tok::LBrace, loc);
+      case '}': return make(Tok::RBrace, loc);
+      case '(': return make(Tok::LParen, loc);
+      case ')': return make(Tok::RParen, loc);
+      case '[': return make(Tok::LBracket, loc);
+      case ']': return make(Tok::RBracket, loc);
+      case ';': return make(Tok::Semi, loc);
+      case ',': return make(Tok::Comma, loc);
+      case ':': return make(Tok::Colon, loc);
+      case '?': return make(Tok::Question, loc);
+      case '+': return make(Tok::Plus, loc);
+      case '-': return make(Tok::Minus, loc);
+      case '*': return make(Tok::Star, loc);
+      case '/': return make(Tok::Slash, loc);
+      case '%': return make(Tok::Percent, loc);
+      case '^': return make(Tok::Caret, loc);
+      case '~': return make(Tok::Tilde, loc);
+      case '.':
+        if (peek() == '.') {
+          advance();
+          return make(Tok::DotDot, loc);
+        }
+        return make(Tok::Dot, loc);
+      case '$':
+        if (peek() == '$') {
+          advance();
+          return make(Tok::Dollar2, loc);
+        }
+        diags_.error(loc, "stray '$' (did you mean '$$'?)");
+        return next();
+      case '&':
+        if (peek() == '&') {
+          advance();
+          return make(Tok::AmpAmp, loc);
+        }
+        return make(Tok::Amp, loc);
+      case '|':
+        if (peek() == '|') {
+          advance();
+          return make(Tok::PipePipe, loc);
+        }
+        return make(Tok::Pipe, loc);
+      case '!':
+        if (peek() == '=') {
+          advance();
+          return make(Tok::BangEq, loc);
+        }
+        return make(Tok::Bang, loc);
+      case '=':
+        if (peek() == '=') {
+          advance();
+          return make(Tok::EqEq, loc);
+        }
+        return make(Tok::Assign, loc);
+      case '<':
+        if (peek() == '-') {
+          advance();
+          return make(Tok::Arrow, loc);
+        }
+        if (peek() == '<') {
+          advance();
+          return make(Tok::Shl, loc);
+        }
+        if (peek() == '=') {
+          advance();
+          return make(Tok::Le, loc);
+        }
+        return make(Tok::Lt, loc);
+      case '>':
+        if (peek() == '>') {
+          advance();
+          if (peek() == '>') {
+            advance();
+            return make(Tok::AShr, loc);
+          }
+          return make(Tok::Shr, loc);
+        }
+        if (peek() == '=') {
+          advance();
+          return make(Tok::Ge, loc);
+        }
+        return make(Tok::Gt, loc);
+      default:
+        diags_.error(loc, cat("unexpected character '", c, "'"));
+        return next();
+    }
+  }
+
+  Token lexIdentifier(SourceLoc loc) {
+    std::string text;
+    while (!atEnd()) {
+      char c = peek();
+      if (std::isalnum(static_cast<unsigned char>(c)) || c == '_') {
+        text += advance();
+      } else {
+        break;
+      }
+    }
+    Token t = make(Tok::Identifier, loc, std::move(text));
+    return t;
+  }
+
+  Token lexNumber(SourceLoc loc) {
+    std::string text;
+    // Leading digits (possibly the width of a sized literal).
+    while (!atEnd() && (std::isdigit(static_cast<unsigned char>(peek())) ||
+                        peek() == '_'))
+      text += advance();
+
+    if (!atEnd() && peek() == '\'') {
+      // Sized literal: <width>'<base><digits>
+      advance();
+      unsigned width = 0;
+      for (char d : text)
+        if (d != '_') width = width * 10 + unsigned(d - '0');
+      if (width == 0 || width > 4096) {
+        diags_.error(loc, "sized literal width out of range");
+        width = 1;
+      }
+      char base = atEnd() ? '\0' : advance();
+      std::string digits;
+      while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                          peek() == '_'))
+        digits += advance();
+      Token t = make(Tok::SizedInt, loc, text + "'" + base + digits);
+      try {
+        switch (base) {
+          case 'd': case 'D':
+            t.sizedValue = BitVector::fromString(width, digits);
+            break;
+          case 'h': case 'H': case 'x': case 'X':
+            t.sizedValue = BitVector::fromString(width, "0x" + digits);
+            break;
+          case 'b': case 'B':
+            t.sizedValue = BitVector::fromString(width, "0b" + digits);
+            break;
+          default:
+            diags_.error(loc, "bad base in sized literal (use d, h or b)");
+            t.sizedValue = BitVector(width);
+        }
+      } catch (const std::invalid_argument& e) {
+        diags_.error(loc, cat("bad sized literal: ", e.what()));
+        t.sizedValue = BitVector(width);
+      }
+      return t;
+    }
+
+    // Unsized: decimal, hex or binary.
+    if (text == "0" && !atEnd() &&
+        (peek() == 'x' || peek() == 'X' || peek() == 'b' || peek() == 'B')) {
+      text += advance();
+      while (!atEnd() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                          peek() == '_'))
+        text += advance();
+    }
+    Token t = make(Tok::Integer, loc, text);
+    try {
+      // Parse into 64 bits for convenience; wider values must be sized.
+      BitVector v = BitVector::fromString(64, text);
+      t.intValue = v.toUint64();
+    } catch (const std::invalid_argument& e) {
+      diags_.error(loc, cat("bad integer literal: ", e.what()));
+    }
+    return t;
+  }
+
+  Token lexString(SourceLoc loc) {
+    advance();  // opening quote
+    std::string text;
+    while (!atEnd() && peek() != '"') {
+      char c = advance();
+      if (c == '\\' && !atEnd()) {
+        char esc = advance();
+        switch (esc) {
+          case 'n': text += '\n'; break;
+          case 't': text += '\t'; break;
+          case '\\': text += '\\'; break;
+          case '"': text += '"'; break;
+          default: text += esc; break;
+        }
+      } else {
+        text += c;
+      }
+    }
+    if (atEnd()) {
+      diags_.error(loc, "unterminated string literal");
+    } else {
+      advance();  // closing quote
+    }
+    return make(Tok::String, loc, std::move(text));
+  }
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source, DiagnosticEngine& diags) {
+  return Lexer(source, diags).run();
+}
+
+}  // namespace isdl

@@ -1,0 +1,59 @@
+// Lexer for the ISDL dialect. Produces a flat token stream consumed by the
+// recursive-descent parser. Keywords are not reserved: section and
+// declaration keywords are ordinary identifiers matched by spelling, so user
+// names can never collide with the grammar.
+
+#ifndef ISDL_ISDL_LEXER_H
+#define ISDL_ISDL_LEXER_H
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/bitvector.h"
+#include "support/diag.h"
+
+namespace isdl {
+
+enum class Tok {
+  Identifier,
+  Integer,     // 123, 0x1f, 0b1010
+  SizedInt,    // Verilog-style 8'd255 / 8'h1f / 8'b1010
+  String,      // "literal"
+  // punctuation / operators
+  LBrace, RBrace, LParen, RParen, LBracket, RBracket,
+  Semi, Comma, Colon, Question, Dot, DotDot, Dollar2,  // $$
+  Assign,      // =
+  Arrow,       // <-
+  Plus, Minus, Star, Slash, Percent,
+  Amp, Pipe, Caret, Tilde, Bang,
+  AmpAmp, PipePipe,
+  Shl, Shr, AShr,          // << >> >>>
+  EqEq, BangEq, Lt, Le, Gt, Ge,
+  EndOfFile,
+};
+
+const char* tokName(Tok t);
+
+struct Token {
+  Tok kind = Tok::EndOfFile;
+  std::string text;      ///< identifier spelling / literal text (no quotes)
+  SourceLoc loc;
+
+  // Numeric payload (Integer / SizedInt):
+  std::uint64_t intValue = 0;  ///< Integer only; value if it fits in 64 bits
+  BitVector sizedValue;        ///< SizedInt only
+
+  bool is(Tok t) const { return kind == t; }
+  bool isIdent(std::string_view s) const {
+    return kind == Tok::Identifier && text == s;
+  }
+};
+
+/// Tokenizes `source`. Lexical errors are reported to `diags`; the returned
+/// stream always ends with an EndOfFile token.
+std::vector<Token> lex(std::string_view source, DiagnosticEngine& diags);
+
+}  // namespace isdl
+
+#endif  // ISDL_ISDL_LEXER_H

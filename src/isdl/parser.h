@@ -1,0 +1,30 @@
+// Recursive-descent parser for the ISDL dialect. Produces a Machine with all
+// names resolved (the dialect requires declare-before-use, so resolution
+// happens during the single parse pass). Width checking and the remaining
+// semantic validation run afterwards in sema.h.
+//
+// The complete grammar is documented in docs/GRAMMAR.md.
+
+#ifndef ISDL_ISDL_PARSER_H
+#define ISDL_ISDL_PARSER_H
+
+#include <memory>
+#include <string_view>
+
+#include "isdl/model.h"
+#include "support/diag.h"
+
+namespace isdl {
+
+/// Parses an ISDL description. Returns nullptr (with diagnostics in `diags`)
+/// on any syntax or resolution error.
+std::unique_ptr<Machine> parseIsdl(std::string_view source,
+                                   DiagnosticEngine& diags);
+
+/// Convenience: parse + full semantic analysis; throws IsdlError with the
+/// collected diagnostics on failure.
+std::unique_ptr<Machine> parseAndCheckIsdl(std::string_view source);
+
+}  // namespace isdl
+
+#endif  // ISDL_ISDL_PARSER_H

@@ -1,0 +1,125 @@
+#include "rtl/fold.h"
+
+#include "rtl/eval.h"
+
+namespace isdl::rtl {
+
+namespace {
+
+/// Context that refuses all dynamic inputs; evalExpr throws EvalError on any
+/// Param/Read it reaches, which the folder treats as "not constant".
+class NoContext final : public EvalContext {
+ public:
+  BitVector paramValue(unsigned) const override {
+    throw EvalError("not constant");
+  }
+  BitVector readStorage(unsigned) const override {
+    throw EvalError("not constant");
+  }
+  BitVector readElement(unsigned, const BitVector&) const override {
+    throw EvalError("not constant");
+  }
+};
+
+bool isPure(const Expr& e) {
+  switch (e.kind) {
+    case ExprKind::Param:
+    case ExprKind::Read:
+    case ExprKind::ReadElem:
+      return false;
+    default:
+      return true;
+  }
+}
+
+}  // namespace
+
+bool isConst(const Expr& e) { return e.kind == ExprKind::Const; }
+
+bool isConstValue(const Expr& e, std::uint64_t value) {
+  if (!isConst(e)) return false;
+  if (e.constant.width() > 64) {
+    return e.constant == BitVector(e.constant.width(), value);
+  }
+  return e.constant.toUint64() == value;
+}
+
+ExprPtr foldExpr(const Expr& e) {
+  // Fold children first.
+  ExprPtr out = e.clone();
+  for (auto& op : out->operands) {
+    ExprPtr folded = foldExpr(*op);
+    op = std::move(folded);
+  }
+
+  // Entirely constant and pure at this node? Evaluate it.
+  bool allConst = isPure(*out);
+  if (allConst) {
+    for (const auto& op : out->operands)
+      if (!isConst(*op)) {
+        allConst = false;
+        break;
+      }
+  }
+  if (allConst && out->kind != ExprKind::Const) {
+    try {
+      BitVector v = evalExpr(*out, NoContext{});
+      return Expr::makeConst(std::move(v), out->loc);
+    } catch (const EvalError&) {
+      // fall through to identity simplification
+    }
+  }
+
+  // Algebraic identities.
+  if (out->kind == ExprKind::Binary) {
+    Expr& a = *out->operands[0];
+    Expr& b = *out->operands[1];
+    switch (out->binOp) {
+      case BinOp::Add:
+        if (isConstValue(b, 0)) return std::move(out->operands[0]);
+        if (isConstValue(a, 0)) return std::move(out->operands[1]);
+        break;
+      case BinOp::Sub:
+        if (isConstValue(b, 0)) return std::move(out->operands[0]);
+        break;
+      case BinOp::Mul:
+        if (isConstValue(b, 1)) return std::move(out->operands[0]);
+        if (isConstValue(a, 1)) return std::move(out->operands[1]);
+        if (isConstValue(a, 0)) return std::move(out->operands[0]);
+        if (isConstValue(b, 0)) return std::move(out->operands[1]);
+        break;
+      case BinOp::And:
+        if (isConst(b) && b.constant.isAllOnes())
+          return std::move(out->operands[0]);
+        if (isConst(a) && a.constant.isAllOnes())
+          return std::move(out->operands[1]);
+        if (isConstValue(a, 0)) return std::move(out->operands[0]);
+        if (isConstValue(b, 0)) return std::move(out->operands[1]);
+        break;
+      case BinOp::Or:
+        if (isConstValue(b, 0)) return std::move(out->operands[0]);
+        if (isConstValue(a, 0)) return std::move(out->operands[1]);
+        break;
+      case BinOp::Xor:
+        if (isConstValue(b, 0)) return std::move(out->operands[0]);
+        if (isConstValue(a, 0)) return std::move(out->operands[1]);
+        break;
+      case BinOp::Shl:
+      case BinOp::LShr:
+      case BinOp::AShr:
+        if (isConstValue(b, 0)) return std::move(out->operands[0]);
+        break;
+      default:
+        break;
+    }
+  }
+
+  if (out->kind == ExprKind::Ternary && isConst(*out->operands[0])) {
+    return out->operands[0]->constant.isZero() ? std::move(out->operands[2])
+                                               : std::move(out->operands[1]);
+  }
+
+  return out;
+}
+
+}  // namespace isdl::rtl

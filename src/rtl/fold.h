@@ -1,0 +1,23 @@
+// Constant folding over width-checked RTL expressions. Used by the hardware
+// generator to shrink datapath logic and by tests as an oracle.
+
+#ifndef ISDL_RTL_FOLD_H
+#define ISDL_RTL_FOLD_H
+
+#include "rtl/ir.h"
+
+namespace isdl::rtl {
+
+/// Returns a folded copy of `e`: every subtree whose value is independent of
+/// parameters and state is replaced by a Const node. Also applies the usual
+/// algebraic identities (x+0, x&0, x*1, 1-bit muxes with constant selects).
+ExprPtr foldExpr(const Expr& e);
+
+/// True if `e` is a Const node.
+bool isConst(const Expr& e);
+/// True if `e` is a Const node equal to `value` (zero-extended comparison).
+bool isConstValue(const Expr& e, std::uint64_t value);
+
+}  // namespace isdl::rtl
+
+#endif  // ISDL_RTL_FOLD_H

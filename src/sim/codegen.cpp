@@ -1,0 +1,491 @@
+#include "sim/codegen.h"
+
+#include <sstream>
+
+#include "support/strings.h"
+
+namespace isdl::sim {
+
+namespace {
+
+using rtl::BinOp;
+using rtl::Expr;
+using rtl::ExprKind;
+using rtl::Stmt;
+using rtl::StmtKind;
+using rtl::UnOp;
+
+std::string maskLit(unsigned width) {
+  if (width >= 64) return "0xffffffffffffffffull";
+  return cat("0x", BitVector(64, (1ull << width) - 1).toHexString().substr(2),
+             "ull");
+}
+
+/// Generates the C++ expression text for a width-checked RTL expression with
+/// the decoded parameter values folded in as constants.
+class ExprGen {
+ public:
+  ExprGen(const Machine& m, const std::vector<Param>& params,
+          const std::vector<DecodedParam>& dparams)
+      : m_(m), params_(&params), dparams_(&dparams) {}
+
+  std::string gen(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::Const:
+        return cat("0x", e.constant.toHexString().substr(2), "ull");
+
+      case ExprKind::Param: {
+        const Param& p = (*params_)[e.paramIndex];
+        const DecodedParam& dp = (*dparams_)[e.paramIndex];
+        if (p.kind == ParamKind::Token)
+          return cat("0x", dp.encoded.toHexString().substr(2), "ull");
+        // Non-terminal: inline the selected option's value expression.
+        const NtOption& opt =
+            m_.nonTerminals[p.index].options[dp.ntOption];
+        ExprGen sub(m_, opt.params, dp.sub);
+        return sub.gen(*opt.value);
+      }
+
+      case ExprKind::Read:
+        return cat("s", e.storageIndex, "[0]");
+
+      case ExprKind::ReadElem: {
+        const StorageDef& st = m_.storages[e.storageIndex];
+        return cat("s", e.storageIndex, "[(", gen(*e.operands[0]), ") % ",
+                   st.depth, "ull]");
+      }
+
+      case ExprKind::Slice:
+        return cat("(((", gen(*e.operands[0]), ") >> ", e.sliceLo, ") & ",
+                   maskLit(e.width), ")");
+
+      case ExprKind::Unary: {
+        std::string a = gen(*e.operands[0]);
+        switch (e.unOp) {
+          case UnOp::LogNot: return cat("(uint64_t)((", a, ") == 0)");
+          case UnOp::BitNot:
+            return cat("((~(", a, ")) & ", maskLit(e.width), ")");
+          case UnOp::Neg:
+            return cat("((0 - (", a, ")) & ", maskLit(e.width), ")");
+          case UnOp::RedAnd:
+            return cat("(uint64_t)((", a, ") == ",
+                       maskLit(e.operands[0]->width), ")");
+          case UnOp::RedOr: return cat("(uint64_t)((", a, ") != 0)");
+          case UnOp::RedXor:
+            return cat("((uint64_t)__builtin_popcountll(", a, ") & 1)");
+        }
+        return "0";
+      }
+
+      case ExprKind::Binary:
+        return genBinary(e);
+
+      case ExprKind::Ternary:
+        return cat("((", gen(*e.operands[0]), ") ? (", gen(*e.operands[1]),
+                   ") : (", gen(*e.operands[2]), "))");
+
+      case ExprKind::ZExt:
+        return gen(*e.operands[0]);
+      case ExprKind::SExt:
+        return cat("(SE(", gen(*e.operands[0]), ", ",
+                   e.operands[0]->width, ") & ", maskLit(e.width), ")");
+      case ExprKind::Trunc:
+        return cat("((", gen(*e.operands[0]), ") & ", maskLit(e.width), ")");
+
+      case ExprKind::Concat: {
+        // Most-significant operand first.
+        std::string out = cat("(", gen(*e.operands[0]), ")");
+        for (std::size_t i = 1; i < e.operands.size(); ++i) {
+          out = cat("(((", out, ") << ", e.operands[i]->width, ") | (",
+                    gen(*e.operands[i]), "))");
+        }
+        return out;
+      }
+
+      case ExprKind::Carry: {
+        unsigned w = e.operands[0]->width;
+        if (w >= 64)
+          return cat("(uint64_t)(((", gen(*e.operands[0]), ") + (",
+                     gen(*e.operands[1]), ")) < (", gen(*e.operands[0]),
+                     "))");
+        return cat("(uint64_t)((((", gen(*e.operands[0]), ") + (",
+                   gen(*e.operands[1]), ")) >> ", w, ") & 1)");
+      }
+      case ExprKind::Overflow: {
+        unsigned w = e.operands[0]->width;
+        return cat("OVF(", gen(*e.operands[0]), ", ", gen(*e.operands[1]),
+                   ", ", w, ")");
+      }
+      case ExprKind::Borrow:
+        return cat("(uint64_t)((", gen(*e.operands[0]), ") < (",
+                   gen(*e.operands[1]), "))");
+
+      case ExprKind::IToF:
+        return e.extWidth == 32
+                   ? cat("F2B(float(SE(", gen(*e.operands[0]), ", ",
+                         e.operands[0]->width, ")))")
+                   : cat("D2B(double(SE(", gen(*e.operands[0]), ", ",
+                         e.operands[0]->width, ")))");
+      case ExprKind::FToI:
+        return cat("FTOI(", gen(*e.operands[0]), ", ",
+                   e.operands[0]->width, ", ", e.extWidth, ")");
+    }
+    return "0";
+  }
+
+ private:
+  const Machine& m_;
+  const std::vector<Param>* params_;
+  const std::vector<DecodedParam>* dparams_;
+
+  std::string genBinary(const Expr& e) const {
+    std::string a = gen(*e.operands[0]);
+    std::string b = gen(*e.operands[1]);
+    unsigned w = e.operands[0]->width;
+    std::string mask = maskLit(e.width);
+    auto wrap = [&](const std::string& expr) {
+      return cat("((", expr, ") & ", mask, ")");
+    };
+    auto boolean = [&](const std::string& expr) {
+      return cat("(uint64_t)(", expr, ")");
+    };
+    auto se = [&](const std::string& x) { return cat("SE(", x, ", ", w, ")"); };
+    switch (e.binOp) {
+      case BinOp::Add: return wrap(cat("(", a, ") + (", b, ")"));
+      case BinOp::Sub: return wrap(cat("(", a, ") - (", b, ")"));
+      case BinOp::Mul: return wrap(cat("(", a, ") * (", b, ")"));
+      case BinOp::UDiv:
+        return wrap(cat("(", b, ") == 0 ? ", maskLit(w), " : (", a, ") / (",
+                        b, ")"));
+      case BinOp::URem:
+        return wrap(cat("(", b, ") == 0 ? (", a, ") : (", a, ") % (", b,
+                        ")"));
+      case BinOp::SDiv:
+        return wrap(cat("(", b, ") == 0 ? ", maskLit(w),
+                        " : (uint64_t)(", se(a), " / ", se(b), ")"));
+      case BinOp::SRem:
+        return wrap(cat("(", b, ") == 0 ? (", a, ") : (uint64_t)(", se(a),
+                        " % ", se(b), ")"));
+      case BinOp::And: return cat("((", a, ") & (", b, "))");
+      case BinOp::Or: return cat("((", a, ") | (", b, "))");
+      case BinOp::Xor: return cat("((", a, ") ^ (", b, "))");
+      case BinOp::Shl:
+        return wrap(cat("(", b, ") >= ", w, " ? 0 : (", a, ") << (", b, ")"));
+      case BinOp::LShr:
+        return cat("((", b, ") >= ", w, " ? 0 : (", a, ") >> (", b, "))");
+      case BinOp::AShr:
+        return wrap(cat("(", b, ") >= ", w, " ? (uint64_t)(", se(a),
+                        " < 0 ? -1 : 0) : (uint64_t)(", se(a), " >> (", b,
+                        "))"));
+      case BinOp::Eq: return boolean(cat("(", a, ") == (", b, ")"));
+      case BinOp::Ne: return boolean(cat("(", a, ") != (", b, ")"));
+      case BinOp::ULt: return boolean(cat("(", a, ") < (", b, ")"));
+      case BinOp::ULe: return boolean(cat("(", a, ") <= (", b, ")"));
+      case BinOp::UGt: return boolean(cat("(", a, ") > (", b, ")"));
+      case BinOp::UGe: return boolean(cat("(", a, ") >= (", b, ")"));
+      case BinOp::SLt: return boolean(cat(se(a), " < ", se(b)));
+      case BinOp::SLe: return boolean(cat(se(a), " <= ", se(b)));
+      case BinOp::SGt: return boolean(cat(se(a), " > ", se(b)));
+      case BinOp::SGe: return boolean(cat(se(a), " >= ", se(b)));
+      case BinOp::LogAnd:
+        return boolean(cat("(", a, ") != 0 && (", b, ") != 0"));
+      case BinOp::LogOr:
+        return boolean(cat("(", a, ") != 0 || (", b, ") != 0"));
+      case BinOp::FAdd: return fpOp("FADD", a, b, w);
+      case BinOp::FSub: return fpOp("FSUB", a, b, w);
+      case BinOp::FMul: return fpOp("FMUL", a, b, w);
+      case BinOp::FDiv: return fpOp("FDIV", a, b, w);
+      case BinOp::FEq: return fpCmp("==", a, b, w);
+      case BinOp::FLt: return fpCmp("<", a, b, w);
+      case BinOp::FLe: return fpCmp("<=", a, b, w);
+    }
+    return "0";
+  }
+
+  static std::string fpOp(const char* name, const std::string& a,
+                          const std::string& b, unsigned w) {
+    return cat(name, w, "(", a, ", ", b, ")");
+  }
+  static std::string fpCmp(const char* op, const std::string& a,
+                           const std::string& b, unsigned w) {
+    return w == 32 ? cat("(uint64_t)(B2F(", a, ") ", op, " B2F(", b, "))")
+                   : cat("(uint64_t)(B2D(", a, ") ", op, " B2D(", b, "))");
+  }
+};
+
+/// Generates the statement bodies of one instruction with two-phase
+/// semantics: collectOp() evaluates RHS values / guards / addresses into
+/// temporaries (reads see the pre-phase state), commit() then performs the
+/// assignments. Actions of all fields form one phase; side effects form a
+/// second one that observes the committed action results.
+class InstGen {
+ public:
+  InstGen(const Machine& m, std::ostringstream& os) : m_(m), os_(os) {}
+
+  void collectOp(const std::vector<rtl::StmtPtr>& stmts,
+                 const std::vector<Param>& params,
+                 const std::vector<DecodedParam>& dparams) {
+    ExprGen eg(m_, params, dparams);
+    collect(stmts, params, dparams, eg, "");
+  }
+
+  void commit() {
+    for (const auto& wr : writes_) {
+      std::string assign;
+      if (wr.hasSlice) {
+        std::uint64_t keep = ~0ull;
+        for (unsigned b = wr.sliceLo; b <= wr.sliceHi; ++b)
+          keep &= ~(1ull << b);
+        assign = cat(wr.target, " = ((", wr.target, " & 0x",
+                     BitVector(64, keep).toHexString().substr(2), "ull) | (",
+                     wr.valueVar, " << ", wr.sliceLo, "));");
+      } else {
+        assign = cat(wr.target, " = ", wr.valueVar, ";");
+      }
+      if (wr.isPc) assign += " pcWritten = true;";
+      if (wr.guard.empty())
+        os_ << "      " << assign << "\n";
+      else
+        os_ << "      if (" << wr.guard << ") { " << assign << " }\n";
+    }
+    writes_.clear();
+  }
+
+ private:
+  struct Write {
+    std::string guard;   // C++ condition or empty
+    std::string target;  // assignable lvalue text
+    unsigned sliceHi = 0, sliceLo = 0;
+    bool hasSlice = false;
+    std::string valueVar;
+    bool isPc = false;
+  };
+
+  const Machine& m_;
+  std::ostringstream& os_;
+  unsigned tmp_ = 0;
+  std::vector<Write> writes_;
+
+  void collect(const std::vector<rtl::StmtPtr>& stmts,
+               const std::vector<Param>& params,
+               const std::vector<DecodedParam>& dparams, const ExprGen& eg,
+               const std::string& guard) {
+    for (const auto& stmt : stmts) {
+      switch (stmt->kind) {
+        case StmtKind::Assign: {
+          Write wr;
+          wr.guard = guard;
+          resolveTarget(stmt->dest, params, dparams, eg, wr);
+          std::string v = cat("v", tmp_++);
+          os_ << "      uint64_t " << v << " = " << eg.gen(*stmt->value)
+              << ";\n";
+          wr.valueVar = v;
+          writes_.push_back(std::move(wr));
+          break;
+        }
+        case StmtKind::If: {
+          std::string c = cat("c", tmp_++);
+          os_ << "      uint64_t " << c << " = " << eg.gen(*stmt->cond)
+              << ";\n";
+          std::string thenGuard =
+              guard.empty() ? cat("(", c, " != 0)")
+                            : cat(guard, " && (", c, " != 0)");
+          std::string elseGuard =
+              guard.empty() ? cat("(", c, " == 0)")
+                            : cat(guard, " && (", c, " == 0)");
+          collect(stmt->thenStmts, params, dparams, eg, thenGuard);
+          collect(stmt->elseStmts, params, dparams, eg, elseGuard);
+          break;
+        }
+      }
+    }
+  }
+
+  void resolveTarget(const rtl::Lvalue& lv, const std::vector<Param>& params,
+                     const std::vector<DecodedParam>& dparams,
+                     const ExprGen& eg, Write& wr) {
+    if (lv.isParam) {
+      const Param& p = params[lv.paramIndex];
+      const DecodedParam& dp = dparams[lv.paramIndex];
+      const NtOption& opt = m_.nonTerminals[p.index].options[dp.ntOption];
+      ExprGen sub(m_, opt.params, dp.sub);
+      resolveTarget(*opt.lvalue, opt.params, dp.sub, sub, wr);
+      return;
+    }
+    const StorageDef& st = m_.storages[lv.storageIndex];
+    wr.isPc = static_cast<int>(lv.storageIndex) == m_.pcIndex;
+    std::string index = "0";
+    if (lv.index) {
+      std::string a = cat("a", tmp_++);
+      os_ << "      uint64_t " << a << " = (" << eg.gen(*lv.index) << ") % "
+          << st.depth << "ull;\n";
+      index = a;
+    }
+    wr.target = cat("s", lv.storageIndex, "[", index, "]");
+    wr.hasSlice = lv.hasSlice;
+    wr.sliceHi = lv.sliceHi;
+    wr.sliceLo = lv.sliceLo;
+  }
+};
+
+}  // namespace
+
+std::string generateCompiledSim(const Machine& m, const SignatureTable& sigs,
+                                const AssembledProgram& prog,
+                                const CodegenOptions& options) {
+  for (const auto& st : m.storages) {
+    if (st.width > 64 && st.kind != StorageKind::InstructionMemory)
+      throw IsdlError(cat("compiled-code simulation does not support ",
+                          st.width, "-bit storage '", st.name, "'"));
+  }
+
+  Disassembler disasm(sigs);
+  DecodedProgram decoded = disasm.decodeProgram(prog.words,
+                                                prog.words.size());
+
+  // Halt operation.
+  int haltField = -1, haltOp = -1;
+  if (auto it = m.optionalInfo.find("halt_operation");
+      it != m.optionalInfo.end()) {
+    auto dot = it->second.find('.');
+    int f = m.findField(it->second.substr(0, dot));
+    if (f >= 0) {
+      const Field& field = m.fields[f];
+      for (std::size_t o = 0; o < field.operations.size(); ++o)
+        if (field.operations[o].name == it->second.substr(dot + 1)) {
+          haltField = f;
+          haltOp = static_cast<int>(o);
+        }
+    }
+  }
+
+  std::ostringstream os;
+  os << "// Compiled-code simulator generated by GENSIM for machine '"
+     << m.name << "'.\n";
+  os << "#include <cstdint>\n#include <cstdio>\n#include <cstring>\n";
+  os << "#include <chrono>\n";
+  os << "using uint64_t = std::uint64_t; using int64_t = std::int64_t;\n";
+  os << R"(
+static inline int64_t SE(uint64_t x, unsigned w) {
+  if (w >= 64) return (int64_t)x;
+  uint64_t m = 1ull << (w - 1);
+  return (int64_t)((x ^ m) - m);
+}
+static inline uint64_t OVF(uint64_t a, uint64_t b, unsigned w) {
+  uint64_t s = a + b, m = 1ull << (w - 1);
+  return (uint64_t)(((~(a ^ b)) & (s ^ a) & m) != 0);
+}
+static inline float B2F(uint64_t x) { float f; std::uint32_t u = (std::uint32_t)x; std::memcpy(&f, &u, 4); return f; }
+static inline double B2D(uint64_t x) { double d; std::memcpy(&d, &x, 8); return d; }
+static inline uint64_t F2B(float f) { std::uint32_t u; std::memcpy(&u, &f, 4); return u; }
+static inline uint64_t D2B(double d) { uint64_t u; std::memcpy(&u, &d, 8); return u; }
+static inline uint64_t FADD32(uint64_t a, uint64_t b) { return F2B(B2F(a) + B2F(b)); }
+static inline uint64_t FSUB32(uint64_t a, uint64_t b) { return F2B(B2F(a) - B2F(b)); }
+static inline uint64_t FMUL32(uint64_t a, uint64_t b) { return F2B(B2F(a) * B2F(b)); }
+static inline uint64_t FDIV32(uint64_t a, uint64_t b) { return F2B(B2F(a) / B2F(b)); }
+static inline uint64_t FADD64(uint64_t a, uint64_t b) { return D2B(B2D(a) + B2D(b)); }
+static inline uint64_t FSUB64(uint64_t a, uint64_t b) { return D2B(B2D(a) - B2D(b)); }
+static inline uint64_t FMUL64(uint64_t a, uint64_t b) { return D2B(B2D(a) * B2D(b)); }
+static inline uint64_t FDIV64(uint64_t a, uint64_t b) { return D2B(B2D(a) / B2D(b)); }
+static inline uint64_t FTOI(uint64_t x, unsigned fw, unsigned iw) {
+  double d = fw == 32 ? (double)B2F(x) : B2D(x);
+  if (d != d) return 0;
+  double lo = -(double)(1ull << (iw - 1));
+  double hi = (double)(1ull << (iw - 1)) - 1.0;
+  if (d < lo) d = lo;
+  if (d > hi) d = hi;
+  uint64_t m = iw >= 64 ? ~0ull : ((1ull << iw) - 1);
+  return ((uint64_t)(int64_t)d) & m;
+}
+)";
+
+  // State arrays (instruction memory is not needed at run time).
+  for (std::size_t si = 0; si < m.storages.size(); ++si) {
+    if (static_cast<int>(si) == m.imemIndex) continue;
+    os << "static uint64_t s" << si << "[" << m.storages[si].depth
+       << "];\n";
+  }
+
+  os << "\nint main() {\n";
+  os << "  uint64_t cycles = 0, instructions = 0;\n";
+  os << "  auto t0 = std::chrono::steady_clock::now();\n";
+  os << "  for (uint64_t rep = 0; rep < " << options.repeats
+     << "ull; ++rep) {\n";
+  for (std::size_t si = 0; si < m.storages.size(); ++si) {
+    if (static_cast<int>(si) == m.imemIndex) continue;
+    os << "  std::memset(s" << si << ", 0, sizeof s" << si << ");\n";
+  }
+  // Data-memory init records.
+  int dmIndex = -1;
+  for (std::size_t si = 0; si < m.storages.size(); ++si)
+    if (m.storages[si].kind == StorageKind::DataMemory)
+      dmIndex = static_cast<int>(si);
+  for (const auto& [addr, value] : prog.dataInit)
+    os << "  s" << dmIndex << "[" << addr << "] = 0x"
+       << value.toHexString().substr(2) << "ull;\n";
+
+  os << "  uint64_t pc = 0;\n";
+  os << "  bool halted = false;\n";
+  os << "  while (!halted && cycles < " << options.maxCycles << "ull) {\n";
+  os << "    bool pcWritten = false;\n";
+  os << "    switch (pc) {\n";
+
+  for (std::uint64_t addr = 0; addr < decoded.byAddress.size(); ++addr) {
+    const DecodedInstruction& inst = decoded.byAddress[addr];
+    if (inst.sizeWords == 0) continue;
+    os << "    case " << addr << "ull: { // "
+       << disasm.render(inst) << "\n";
+    InstGen ig(m, os);
+    bool isHalt = false;
+    // All reads (actions and side effects) see the pre-cycle state; commits
+    // happen afterwards, side-effect writes last (matching XSIM and the
+    // hardware model).
+    for (std::size_t f = 0; f < inst.ops.size(); ++f) {
+      const Operation& op = m.fields[f].operations[inst.ops[f].opIndex];
+      ig.collectOp(op.action, op.params, inst.ops[f].params);
+      if (static_cast<int>(f) == haltField &&
+          static_cast<int>(inst.ops[f].opIndex) == haltOp)
+        isHalt = true;
+    }
+    for (std::size_t f = 0; f < inst.ops.size(); ++f) {
+      const Operation& op = m.fields[f].operations[inst.ops[f].opIndex];
+      ig.collectOp(op.sideEffects, op.params, inst.ops[f].params);
+      for (std::size_t p = 0; p < op.params.size(); ++p) {
+        if (op.params[p].kind != ParamKind::NonTerminal) continue;
+        const DecodedParam& dp = inst.ops[f].params[p];
+        const NtOption& opt =
+            m.nonTerminals[op.params[p].index].options[dp.ntOption];
+        ig.collectOp(opt.sideEffects, opt.params, dp.sub);
+      }
+    }
+    ig.commit();
+    os << "      cycles += " << inst.cycles << "; ++instructions;\n";
+    os << "      if (!pcWritten) s" << m.pcIndex << "[0] = " << addr << " + "
+       << inst.sizeWords << ";\n";
+    os << "      pc = s" << m.pcIndex << "[0];\n";
+    if (isHalt) os << "      halted = true;\n";
+    os << "      break;\n    }\n";
+  }
+  os << "    default: std::printf(\"trap: illegal pc %llu\\n\", "
+        "(unsigned long long)pc); return 2;\n";
+  os << "    }\n  }\n";
+  os << "  }\n";  // repeats
+  os << "  auto dt = std::chrono::duration<double>("
+        "std::chrono::steady_clock::now() - t0).count();\n";
+  os << "  std::printf(\"cycles %llu\\n\", (unsigned long long)cycles);\n";
+  os << "  std::printf(\"instructions %llu\\n\", (unsigned long long)"
+        "instructions);\n";
+  os << "  std::printf(\"seconds %.6f\\n\", dt);\n";
+  for (std::size_t si = 0; si < m.storages.size(); ++si) {
+    if (static_cast<int>(si) == m.imemIndex) continue;
+    os << "  for (uint64_t e = 0; e < " << m.storages[si].depth
+       << "; ++e) if (s" << si << "[e]) std::printf(\""
+       << m.storages[si].name
+       << " %llu %llx\\n\", (unsigned long long)e, (unsigned long long)s"
+       << si << "[e]);\n";
+  }
+  os << "  return 0;\n}\n";
+  return os.str();
+}
+
+}  // namespace isdl::sim

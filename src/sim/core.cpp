@@ -1,0 +1,291 @@
+#include "sim/core.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace isdl::sim {
+
+using rtl::EvalError;
+
+/// Evaluation context for one operation (or, recursively, one selected
+/// non-terminal option). Parameter reads resolve token values directly and
+/// evaluate non-terminal option `value` expressions in a child context;
+/// storage reads go through the engine's pending-write overlay.
+class ExecEngine::OpContext final : public rtl::EvalContext {
+ public:
+  OpContext(const ExecEngine& eng, const std::vector<Param>& params,
+            const std::vector<DecodedParam>& dparams)
+      : eng_(eng), params_(&params), dparams_(&dparams) {}
+
+  const std::vector<Param>& params() const { return *params_; }
+  const std::vector<DecodedParam>& dparams() const { return *dparams_; }
+  const ExecEngine& engine() const { return eng_; }
+
+  BitVector paramValue(unsigned i) const override {
+    const Param& p = (*params_)[i];
+    const DecodedParam& dp = (*dparams_)[i];
+    if (p.kind == ParamKind::Token) return dp.encoded;
+    const NonTerminal& nt = eng_.machine_.nonTerminals[p.index];
+    const NtOption& opt = nt.options[dp.ntOption];
+    if (!opt.value)
+      throw EvalError(cat("non-terminal '", nt.name,
+                          "' option has no value but was read"));
+    OpContext child(eng_, opt.params, dp.sub);
+    return rtl::evalExpr(*opt.value, child);
+  }
+
+  BitVector readStorage(unsigned si) const override {
+    return eng_.readLoc(si, 0);
+  }
+
+  BitVector readElement(unsigned si, const BitVector& index) const override {
+    return eng_.readLoc(si, index.toUint64());
+  }
+
+ private:
+  const ExecEngine& eng_;
+  const std::vector<Param>* params_;
+  const std::vector<DecodedParam>* dparams_;
+};
+
+ExecEngine::ExecEngine(const Machine& machine, State& state)
+    : machine_(machine),
+      state_(state),
+      fieldBusyUntil_(machine.fields.size(), 0) {}
+
+void ExecEngine::reset() {
+  pending_.clear();
+  stagedLocal_.clear();
+  std::fill(fieldBusyUntil_.begin(), fieldBusyUntil_.end(), 0);
+  cycle_ = 0;
+  seq_ = 0;
+  instrId_ = 0;
+  pcCommitted_ = false;
+}
+
+BitVector ExecEngine::readLoc(unsigned si, std::uint64_t elem) const {
+  BitVector v = state_.read(si, elem);
+  for (const auto& p : pending_) {
+    if (p.si != si || p.elem != elem) continue;
+    if (phaseB_) {
+      // Side effects read the same pre-cycle state as the actions ("after"
+      // orders the WRITES, not the reads — this matches the hardware model,
+      // where flag logic computes from operands in parallel with the ALU).
+      // Writes still in flight from EARLIER instructions are forwarded:
+      // phase A already charged any stall they warranted.
+      if (p.instrId != instrId_)
+        v = p.hasSlice ? v.withSlice(p.hi, p.lo, p.value) : p.value;
+    } else if (p.stallCost == 0 || p.instrId == instrId_) {
+      // Full bypass (Stall == 0) and this instruction's own staged values.
+      v = p.hasSlice ? v.withSlice(p.hi, p.lo, p.value) : p.value;
+    } else {
+      std::uint64_t needed = p.commitCycle + 1 - cycle_;
+      requiredStall_ = std::max(requiredStall_, needed);
+    }
+  }
+  return v;
+}
+
+void ExecEngine::commitUpTo(std::uint64_t cycleInclusive) {
+  // Retire in (commitCycle, seq) order so later writes win deterministically.
+  std::stable_sort(pending_.begin(), pending_.end(),
+                   [](const Pending& a, const Pending& b) {
+                     if (a.commitCycle != b.commitCycle)
+                       return a.commitCycle < b.commitCycle;
+                     return a.seq < b.seq;
+                   });
+  std::size_t i = 0;
+  for (; i < pending_.size(); ++i) {
+    const Pending& p = pending_[i];
+    if (p.commitCycle > cycleInclusive) break;
+    if (p.hasSlice)
+      state_.writeSlice(p.si, p.elem, p.hi, p.lo, p.value, p.commitCycle);
+    else
+      state_.write(p.si, p.elem, p.value, p.commitCycle);
+    if (static_cast<int>(p.si) == machine_.pcIndex) pcCommitted_ = true;
+  }
+  pending_.erase(pending_.begin(), pending_.begin() + i);
+}
+
+void ExecEngine::advanceTo(std::uint64_t newCycle) {
+  if (newCycle > cycle_) {
+    commitUpTo(newCycle - 1);
+    cycle_ = newCycle;
+  }
+}
+
+void ExecEngine::stageWrite(const ResolvedLv& lv, BitVector value,
+                            unsigned latency, unsigned stallCost) {
+  Pending p;
+  p.si = lv.si;
+  p.elem = lv.elem;
+  p.hasSlice = lv.hasSlice;
+  p.hi = lv.hi;
+  p.lo = lv.lo;
+  p.value = std::move(value);
+  p.commitCycle = cycle_ + latency - 1;
+  p.stallCost = stallCost;
+  p.instrId = instrId_;
+  p.seq = seq_++;
+
+  // Two statements of the same instruction phase driving the same bits is
+  // write contention, whatever their latencies — one functional unit's
+  // write port cannot carry both (and the flow-through hardware model
+  // would resolve the race differently than latency ordering would).
+  auto overlaps = [&](const Pending& q) {
+    if (q.si != p.si || q.elem != p.elem) return false;
+    unsigned pHi = p.hasSlice ? p.hi : state_.read(p.si, p.elem).width() - 1;
+    unsigned pLo = p.hasSlice ? p.lo : 0;
+    unsigned qHi = q.hasSlice ? q.hi : pHi;
+    unsigned qLo = q.hasSlice ? q.lo : 0;
+    return pLo <= qHi && qLo <= pHi;
+  };
+  // Cross-instruction write-after-write races are legal (the later
+  // instruction wins, enforced by commit order); only two statements of the
+  // same instruction phase driving the same bits are a description bug.
+  for (const auto& q : stagedLocal_)
+    if (overlaps(q))
+      throw EvalError(cat("write conflict: two RTL statements write ",
+                          machine_.storages[p.si].name, "[", p.elem,
+                          "] in the same cycle"));
+  stagedLocal_.push_back(std::move(p));
+}
+
+ExecEngine::ResolvedLv ExecEngine::resolveLvalue(const rtl::Lvalue& lv,
+                                                 const OpContext& ctx) const {
+  if (lv.isParam) {
+    const Param& p = ctx.params()[lv.paramIndex];
+    const DecodedParam& dp = ctx.dparams()[lv.paramIndex];
+    const NonTerminal& nt = machine_.nonTerminals[p.index];
+    const NtOption& opt = nt.options[dp.ntOption];
+    if (!opt.lvalue)
+      throw EvalError(cat("non-terminal '", nt.name,
+                          "' option has no lvalue but was written"));
+    OpContext child(*this, opt.params, dp.sub);
+    return resolveLvalue(*opt.lvalue, child);
+  }
+  ResolvedLv r;
+  r.si = lv.storageIndex;
+  r.elem = lv.index ? rtl::evalExpr(*lv.index, ctx).toUint64() : 0;
+  if (r.elem >= machine_.storages[r.si].depth)
+    throw EvalError(cat("write to ", machine_.storages[r.si].name, "[",
+                        r.elem, "] is out of range"));
+  r.hasSlice = lv.hasSlice;
+  r.hi = lv.sliceHi;
+  r.lo = lv.sliceLo;
+  return r;
+}
+
+void ExecEngine::execStmts(const std::vector<rtl::StmtPtr>& stmts,
+                           const OpContext& ctx, unsigned latency,
+                           unsigned stallCost) {
+  for (const auto& stmt : stmts) {
+    switch (stmt->kind) {
+      case rtl::StmtKind::Assign: {
+        ResolvedLv lv = resolveLvalue(stmt->dest, ctx);
+        BitVector value = rtl::evalExpr(*stmt->value, ctx);
+        stageWrite(lv, std::move(value), latency, stallCost);
+        break;
+      }
+      case rtl::StmtKind::If: {
+        BitVector cond = rtl::evalExpr(*stmt->cond, ctx);
+        const auto& branch = cond.isZero() ? stmt->elseStmts : stmt->thenStmts;
+        execStmts(branch, ctx, latency, stallCost);
+        break;
+      }
+    }
+  }
+}
+
+void ExecEngine::execOptionSideEffects(const OpContext& ctx, unsigned latency,
+                                       unsigned stallCost) {
+  // Side effects contributed by selected non-terminal options (e.g. a
+  // post-increment addressing mode), recursively.
+  for (std::size_t i = 0; i < ctx.params().size(); ++i) {
+    const Param& p = ctx.params()[i];
+    if (p.kind != ParamKind::NonTerminal) continue;
+    const DecodedParam& dp = ctx.dparams()[i];
+    const NtOption& opt = machine_.nonTerminals[p.index].options[dp.ntOption];
+    OpContext child(*this, opt.params, dp.sub);
+    execStmts(opt.sideEffects, child, latency, stallCost);
+    execOptionSideEffects(child, latency, stallCost);
+  }
+}
+
+ExecEngine::IssueInfo ExecEngine::issue(const DecodedInstruction& inst) {
+  IssueInfo info;
+  ++instrId_;
+
+  // Structural hazards: every functional unit the instruction touches must
+  // be free (Usage timing, paper §2.1.3).
+  std::uint64_t busy = cycle_;
+  for (std::size_t f = 0; f < inst.ops.size(); ++f)
+    busy = std::max(busy, fieldBusyUntil_[f]);
+  if (busy > cycle_) {
+    info.structStallCycles = busy - cycle_;
+    advanceTo(busy);
+  }
+
+  try {
+    // Phase A with hazard-probe retry: evaluate all actions against the
+    // pre-cycle state; a read of a location with a pending interlocked write
+    // records the stall needed, and the whole evaluation is redone after
+    // advancing (the state view changes once the write retires).
+    for (;;) {
+      if (cycle_ > 0) commitUpTo(cycle_ - 1);
+      requiredStall_ = 0;
+      phaseB_ = false;
+      stagedLocal_.clear();
+      for (std::size_t f = 0; f < inst.ops.size(); ++f) {
+        const DecodedOp& dop = inst.ops[f];
+        const Operation& op = machine_.fields[f].operations[dop.opIndex];
+        OpContext ctx(*this, op.params, dop.params);
+        execStmts(op.action, ctx, dop.effLatency, dop.effStall);
+      }
+      if (requiredStall_ == 0) break;
+      info.dataStallCycles += requiredStall_;
+      stagedLocal_.clear();
+      advanceTo(cycle_ + requiredStall_);
+    }
+
+    // Publish phase-A writes, then run phase B (side effects observe them).
+    for (auto& w : stagedLocal_) pending_.push_back(std::move(w));
+    stagedLocal_.clear();
+    phaseB_ = true;
+    for (std::size_t f = 0; f < inst.ops.size(); ++f) {
+      const DecodedOp& dop = inst.ops[f];
+      const Operation& op = machine_.fields[f].operations[dop.opIndex];
+      OpContext ctx(*this, op.params, dop.params);
+      execStmts(op.sideEffects, ctx, dop.effLatency, dop.effStall);
+      execOptionSideEffects(ctx, dop.effLatency, dop.effStall);
+    }
+    for (auto& w : stagedLocal_) pending_.push_back(std::move(w));
+    stagedLocal_.clear();
+    phaseB_ = false;
+  } catch (const EvalError& e) {
+    stagedLocal_.clear();
+    phaseB_ = false;
+    info.ok = false;
+    info.error = e.what();
+    return info;
+  }
+
+  // Occupy functional units.
+  for (std::size_t f = 0; f < inst.ops.size(); ++f)
+    fieldBusyUntil_[f] = cycle_ + inst.ops[f].effUsage;
+
+  // Advance through the instruction's cycle window, retiring writes that
+  // fall inside it and tracking PC commits (branch taken).
+  pcCommitted_ = false;
+  commitUpTo(cycle_ + inst.cycles - 1);
+  cycle_ += inst.cycles;
+  info.pcCommitted = pcCommitted_;
+  return info;
+}
+
+void ExecEngine::drain() {
+  commitUpTo(~std::uint64_t{0});
+}
+
+}  // namespace isdl::sim

@@ -1,0 +1,108 @@
+// The XSIM processing core (paper §3.3.3). Executes decoded instructions
+// with the paper's two-phase cycle semantics:
+//
+//   phase A  all operation actions read the pre-cycle state and stage their
+//            writes into temporary storage;
+//   phase B  side effects run, conceptually after the actions but in the
+//            same cycle (they observe the staged action results);
+//   commit   staged writes retire after Latency cycles through a
+//            delayed-write queue, so results become architecturally visible
+//            exactly when the description says they do.
+//
+// There is no explicit pipeline model, exactly as in ISDL. Stall cycles are
+// derived from the instruction stream: a read of a location with a pending
+// (uncommitted) write either gets the forwarded value (producer Stall == 0:
+// the description promises full bypass, §4.1.3) or stalls issue until the
+// write retires (producer Stall > 0: interlock). Usage creates structural
+// stalls by keeping a field's functional unit busy.
+
+#ifndef ISDL_SIM_CORE_H
+#define ISDL_SIM_CORE_H
+
+#include <string>
+#include <vector>
+
+#include "sim/decoded.h"
+#include "sim/state.h"
+
+namespace isdl::sim {
+
+class ExecEngine {
+ public:
+  ExecEngine(const Machine& machine, State& state);
+
+  struct IssueInfo {
+    bool ok = true;
+    std::string error;                    ///< runtime trap message when !ok
+    std::uint64_t dataStallCycles = 0;    ///< RAW interlock bubbles
+    std::uint64_t structStallCycles = 0;  ///< busy-functional-unit bubbles
+    /// True if a write to the program counter retired during this
+    /// instruction's cycle window; the scheduler then skips the sequential
+    /// PC increment (branch taken).
+    bool pcCommitted = false;
+  };
+
+  /// Executes one instruction starting at the current cycle; advances the
+  /// cycle by the instruction's cycle cost plus any stalls.
+  IssueInfo issue(const DecodedInstruction& inst);
+
+  std::uint64_t cycle() const { return cycle_; }
+
+  /// Commits every still-pending write (used before final state inspection,
+  /// where in-flight latencies should not hide results).
+  void drain();
+
+  void reset();
+
+ private:
+  struct Pending {
+    unsigned si = 0;
+    std::uint64_t elem = 0;
+    bool hasSlice = false;
+    unsigned hi = 0, lo = 0;
+    BitVector value;
+    std::uint64_t commitCycle = 0;  ///< retires at the END of this cycle
+    unsigned stallCost = 0;         ///< producer's Stall; 0 = bypassable
+    std::uint64_t instrId = 0;      ///< issuing instruction (for phase B)
+    std::uint64_t seq = 0;          ///< staging order
+  };
+
+  const Machine& machine_;
+  State& state_;
+  std::vector<Pending> pending_;
+  std::vector<std::uint64_t> fieldBusyUntil_;
+  std::uint64_t cycle_ = 0;
+  std::uint64_t seq_ = 0;
+  std::uint64_t instrId_ = 0;
+  bool pcCommitted_ = false;
+
+  // Per-issue evaluation state.
+  mutable std::uint64_t requiredStall_ = 0;
+  bool phaseB_ = false;
+  std::vector<Pending> stagedLocal_;
+
+  class OpContext;
+  struct ResolvedLv {
+    unsigned si;
+    std::uint64_t elem;
+    bool hasSlice;
+    unsigned hi, lo;
+  };
+
+  BitVector readLoc(unsigned si, std::uint64_t elem) const;
+  void commitUpTo(std::uint64_t cycleInclusive);
+  void advanceTo(std::uint64_t newCycle);
+  void stageWrite(const ResolvedLv& lv, BitVector value, unsigned latency,
+                  unsigned stallCost);
+  ResolvedLv resolveLvalue(const rtl::Lvalue& lv, const OpContext& ctx) const;
+  void execStmts(const std::vector<rtl::StmtPtr>& stmts, const OpContext& ctx,
+                 unsigned latency, unsigned stallCost);
+  void execOptionSideEffects(const OpContext& ctx, unsigned latency,
+                             unsigned stallCost);
+
+  friend class OpContext;
+};
+
+}  // namespace isdl::sim
+
+#endif  // ISDL_SIM_CORE_H

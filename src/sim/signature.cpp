@@ -1,0 +1,175 @@
+#include "sim/signature.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace isdl::sim {
+
+Signature::Signature(unsigned widthBits, std::size_t numParams,
+                     const std::vector<EncodeAssign>& encode)
+    : width_(widthBits),
+      careMask_(widthBits == 0 ? BitVector() : BitVector(widthBits)),
+      constBits_(widthBits == 0 ? BitVector() : BitVector(widthBits)),
+      paramMask_(widthBits == 0 ? BitVector() : BitVector(widthBits)),
+      paramBits_(numParams) {
+  // First pass: find each parameter's full encoded width so the bit maps can
+  // be sized (assignments may arrive in any order and slice any sub-range).
+  std::vector<unsigned> paramWidths(numParams, 0);
+  for (const auto& ea : encode) {
+    if (ea.src == EncodeAssign::Src::Param) {
+      paramWidths[ea.paramIndex] =
+          std::max(paramWidths[ea.paramIndex], ea.hi - ea.lo + 1);
+    } else if (ea.src == EncodeAssign::Src::ParamSlice) {
+      paramWidths[ea.paramIndex] =
+          std::max(paramWidths[ea.paramIndex], ea.paramHi + 1);
+    }
+  }
+  for (std::size_t p = 0; p < numParams; ++p)
+    paramBits_[p].assign(paramWidths[p], ~0u);
+
+  for (const auto& ea : encode) {
+    switch (ea.src) {
+      case EncodeAssign::Src::Const:
+        for (unsigned b = ea.lo; b <= ea.hi; ++b) {
+          careMask_.setBit(b, true);
+          constBits_.setBit(b, ea.constValue.bit(b - ea.lo));
+        }
+        break;
+      case EncodeAssign::Src::Param:
+        for (unsigned b = ea.lo; b <= ea.hi; ++b) {
+          paramMask_.setBit(b, true);
+          paramBits_[ea.paramIndex][b - ea.lo] = b;
+        }
+        break;
+      case EncodeAssign::Src::ParamSlice:
+        for (unsigned k = ea.paramLo; k <= ea.paramHi; ++k) {
+          unsigned instBit = ea.lo + (k - ea.paramLo);
+          paramMask_.setBit(instBit, true);
+          paramBits_[ea.paramIndex][k] = instBit;
+        }
+        break;
+    }
+  }
+}
+
+bool Signature::matches(const BitVector& word) const {
+  if (width_ == 0) return true;
+  // word may be wider; compare only our bits.
+  for (unsigned b = 0; b < width_; ++b) {
+    if (careMask_.bit(b) && word.bit(b) != constBits_.bit(b)) return false;
+  }
+  return true;
+}
+
+void Signature::assemble(BitVector& word,
+                         const std::vector<BitVector>& paramValues) const {
+  for (unsigned b = 0; b < width_; ++b)
+    if (careMask_.bit(b)) word.setBit(b, constBits_.bit(b));
+  for (std::size_t p = 0; p < paramBits_.size(); ++p) {
+    const BitVector& v = paramValues[p];
+    for (unsigned k = 0; k < paramBits_[p].size(); ++k) {
+      unsigned instBit = paramBits_[p][k];
+      if (instBit != ~0u) word.setBit(instBit, v.bit(k));
+    }
+  }
+}
+
+BitVector Signature::extractParam(unsigned p, const BitVector& word) const {
+  const auto& bits = paramBits_[p];
+  BitVector v(static_cast<unsigned>(bits.size()));
+  for (unsigned k = 0; k < bits.size(); ++k)
+    if (bits[k] != ~0u) v.setBit(k, word.bit(bits[k]));
+  return v;
+}
+
+std::string Signature::toString() const {
+  std::string s;
+  s.reserve(width_);
+  for (unsigned b = width_; b-- > 0;) {
+    if (careMask_.bit(b)) {
+      s += constBits_.bit(b) ? '1' : '0';
+    } else if (paramMask_.bit(b)) {
+      char c = 'x';
+      for (std::size_t p = 0; p < paramBits_.size(); ++p) {
+        for (unsigned instBit : paramBits_[p]) {
+          if (instBit == b) {
+            c = char('a' + (p % 26));
+            break;
+          }
+        }
+        if (c != 'x') break;
+      }
+      s += c;
+    } else {
+      s += 'x';
+    }
+  }
+  return s;
+}
+
+bool distinguishable(const Signature& a, const Signature& b) {
+  unsigned overlap = std::min(a.widthBits(), b.widthBits());
+  for (unsigned bit = 0; bit < overlap; ++bit) {
+    if (a.careMask().bit(bit) && b.careMask().bit(bit) &&
+        a.constBits().bit(bit) != b.constBits().bit(bit))
+      return true;
+  }
+  return false;
+}
+
+SignatureTable::SignatureTable(const Machine& machine, DiagnosticEngine& diags)
+    : machine_(&machine) {
+  opSigs_.reserve(machine.fields.size());
+  for (const auto& field : machine.fields) {
+    std::vector<Signature> sigs;
+    sigs.reserve(field.operations.size());
+    for (const auto& op : field.operations) {
+      sigs.emplace_back(op.costs.size * machine.wordWidth, op.params.size(),
+                        op.encode);
+    }
+    // Decodability: every pair of operations in a field must be
+    // distinguishable by constant bits (paper footnote 4: the match is
+    // unique for a decodeable assembly function).
+    for (std::size_t i = 0; i < sigs.size(); ++i) {
+      for (std::size_t j = i + 1; j < sigs.size(); ++j) {
+        if (!distinguishable(sigs[i], sigs[j])) {
+          diags.error(field.operations[j].loc,
+                      cat("operations '", field.name, ".",
+                          field.operations[i].name, "' and '", field.name,
+                          ".", field.operations[j].name,
+                          "' are not distinguishable by any constant "
+                          "instruction bit; the assembly function is not "
+                          "decodeable"));
+          valid_ = false;
+        }
+      }
+    }
+    opSigs_.push_back(std::move(sigs));
+  }
+
+  ntSigs_.reserve(machine.nonTerminals.size());
+  for (const auto& nt : machine.nonTerminals) {
+    std::vector<Signature> sigs;
+    sigs.reserve(nt.options.size());
+    for (const auto& opt : nt.options)
+      sigs.emplace_back(nt.returnWidth, opt.params.size(), opt.encode);
+    if (nt.options.size() > 1) {
+      for (std::size_t i = 0; i < sigs.size(); ++i) {
+        for (std::size_t j = i + 1; j < sigs.size(); ++j) {
+          if (!distinguishable(sigs[i], sigs[j])) {
+            diags.error(nt.loc,
+                        cat("options ", i, " and ", j, " of non-terminal '",
+                            nt.name,
+                            "' are not distinguishable by any constant "
+                            "return-value bit"));
+            valid_ = false;
+          }
+        }
+      }
+    }
+    ntSigs_.push_back(std::move(sigs));
+  }
+}
+
+}  // namespace isdl::sim

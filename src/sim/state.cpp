@@ -1,0 +1,84 @@
+#include "sim/state.h"
+
+#include <algorithm>
+
+#include "support/strings.h"
+
+namespace isdl::sim {
+
+int Monitors::add(unsigned storageIndex, std::optional<std::uint64_t> element,
+                  Callback callback) {
+  int handle = nextHandle_++;
+  watches_.push_back({handle, storageIndex, element, std::move(callback)});
+  return handle;
+}
+
+void Monitors::remove(int handle) {
+  std::erase_if(watches_, [&](const Watch& w) { return w.handle == handle; });
+}
+
+void Monitors::fire(const WriteEvent& event) const {
+  for (const auto& w : watches_) {
+    if (w.storageIndex != event.storageIndex) continue;
+    if (w.element && *w.element != event.element) continue;
+    w.callback(event);
+  }
+}
+
+State::State(const Machine& machine) : machine_(&machine) {
+  values_.reserve(machine.storages.size());
+  for (const auto& st : machine.storages) {
+    values_.emplace_back(st.depth, BitVector(st.width));
+  }
+}
+
+void State::reset() {
+  for (std::size_t si = 0; si < values_.size(); ++si) {
+    const unsigned width = machine_->storages[si].width;
+    for (auto& v : values_[si]) v = BitVector(width);
+  }
+}
+
+void State::checkRange(unsigned si, std::uint64_t element) const {
+  if (element >= values_[si].size())
+    throw rtl::EvalError(cat("access to ", machine_->storages[si].name, "[",
+                             element, "] is out of range (depth ",
+                             values_[si].size(), ")"));
+}
+
+const BitVector& State::read(unsigned si, std::uint64_t element) const {
+  checkRange(si, element);
+  return values_[si][element];
+}
+
+void State::write(unsigned si, std::uint64_t element, const BitVector& value,
+                  std::uint64_t cycle) {
+  checkRange(si, element);
+  BitVector& slot = values_[si][element];
+  if (slot == value) return;
+  if (!monitors_.empty()) {
+    WriteEvent ev{si, element, cycle, slot, value};
+    slot = value;
+    monitors_.fire(ev);
+  } else {
+    slot = value;
+  }
+}
+
+void State::writeSlice(unsigned si, std::uint64_t element, unsigned hi,
+                       unsigned lo, const BitVector& value,
+                       std::uint64_t cycle) {
+  checkRange(si, element);
+  write(si, element, values_[si][element].withSlice(hi, lo, value), cycle);
+}
+
+std::uint64_t State::pc() const {
+  return read(static_cast<unsigned>(machine_->pcIndex)).toUint64();
+}
+
+void State::setPc(std::uint64_t value, std::uint64_t cycle) {
+  unsigned pcIdx = static_cast<unsigned>(machine_->pcIndex);
+  write(pcIdx, 0, BitVector(machine_->storages[pcIdx].width, value), cycle);
+}
+
+}  // namespace isdl::sim

@@ -1,0 +1,96 @@
+// Architectural state and state monitors (paper Figure 2: "State" and
+// "Monitors"). State generation (§3.3.1) allocates one value array per
+// storage element of the ISDL description; every write is routed through the
+// monitor hooks so user-defined watchpoints can observe any change.
+
+#ifndef ISDL_SIM_STATE_H
+#define ISDL_SIM_STATE_H
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "isdl/model.h"
+#include "rtl/eval.h"
+#include "support/bitvector.h"
+
+namespace isdl::sim {
+
+/// A committed change to one storage location.
+struct WriteEvent {
+  unsigned storageIndex = 0;
+  std::uint64_t element = 0;
+  std::uint64_t cycle = 0;
+  BitVector oldValue;
+  BitVector newValue;
+};
+
+/// Watchpoint registry. A monitor can watch a whole storage element or a
+/// single location of an addressed one; it fires only on actual changes
+/// (oldValue != newValue), mirroring the paper's "detect whenever any
+/// user-defined portion of the state changes".
+class Monitors {
+ public:
+  using Callback = std::function<void(const WriteEvent&)>;
+
+  /// Returns a handle usable with remove().
+  int add(unsigned storageIndex, std::optional<std::uint64_t> element,
+          Callback callback);
+  void remove(int handle);
+  bool empty() const { return watches_.empty(); }
+
+  void fire(const WriteEvent& event) const;
+
+ private:
+  struct Watch {
+    int handle;
+    unsigned storageIndex;
+    std::optional<std::uint64_t> element;
+    Callback callback;
+  };
+  std::vector<Watch> watches_;
+  int nextHandle_ = 1;
+};
+
+/// The processor state: one dense value array per storage definition.
+class State {
+ public:
+  explicit State(const Machine& machine);
+
+  const Machine& machine() const { return *machine_; }
+  Monitors& monitors() { return monitors_; }
+
+  /// Zeroes every storage element (no monitor events).
+  void reset();
+
+  /// Reads location `element` of storage `si` (element 0 for non-addressed
+  /// kinds). Throws rtl::EvalError on out-of-range access.
+  const BitVector& read(unsigned si, std::uint64_t element = 0) const;
+
+  /// Writes a whole location, firing monitors when the value changes.
+  void write(unsigned si, std::uint64_t element, const BitVector& value,
+             std::uint64_t cycle);
+  /// Writes bits [hi..lo] of a location.
+  void writeSlice(unsigned si, std::uint64_t element, unsigned hi,
+                  unsigned lo, const BitVector& value, std::uint64_t cycle);
+
+  // --- convenience accessors -------------------------------------------------
+  std::uint64_t pc() const;
+  void setPc(std::uint64_t value, std::uint64_t cycle);
+
+  std::uint64_t depth(unsigned si) const {
+    return machine_->storages[si].depth;
+  }
+
+ private:
+  const Machine* machine_;
+  std::vector<std::vector<BitVector>> values_;  // [storage][element]
+  Monitors monitors_;
+
+  void checkRange(unsigned si, std::uint64_t element) const;
+};
+
+}  // namespace isdl::sim
+
+#endif  // ISDL_SIM_STATE_H

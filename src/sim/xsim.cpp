@@ -1,0 +1,192 @@
+#include "sim/xsim.h"
+
+#include "support/strings.h"
+
+namespace isdl::sim {
+
+const char* stopReasonName(StopReason r) {
+  switch (r) {
+    case StopReason::Halted: return "halted";
+    case StopReason::Breakpoint: return "breakpoint";
+    case StopReason::MaxCycles: return "max cycles";
+    case StopReason::MaxInstructions: return "max instructions";
+    case StopReason::IllegalInstruction: return "illegal instruction";
+    case StopReason::PcOutOfRange: return "PC out of range";
+    case StopReason::RuntimeError: return "runtime error";
+  }
+  return "?";
+}
+
+Xsim::Xsim(const Machine& machine)
+    : machine_(&machine),
+      sigs_(machine, sigDiags_),
+      disasm_(sigs_),
+      state_(machine),
+      engine_(machine, state_) {
+  if (!sigs_.valid())
+    throw IsdlError("assembly function is not decodeable:\n" +
+                    sigDiags_.dump());
+
+  // Resolve the optional halt operation ("FIELD.op" in the optional
+  // section). Architectures without one stop via cycle budgets.
+  auto it = machine.optionalInfo.find("halt_operation");
+  if (it != machine.optionalInfo.end()) {
+    auto dot = it->second.find('.');
+    if (dot != std::string::npos) {
+      int f = machine.findField(it->second.substr(0, dot));
+      if (f >= 0) {
+        const Field& field = machine.fields[f];
+        std::string opName = it->second.substr(dot + 1);
+        for (std::size_t o = 0; o < field.operations.size(); ++o) {
+          if (field.operations[o].name == opName) {
+            haltField_ = f;
+            haltOp_ = static_cast<int>(o);
+          }
+        }
+      }
+    }
+    if (haltField_ < 0)
+      throw IsdlError(cat("optional halt_operation '", it->second,
+                          "' does not name a field.operation"));
+  }
+
+  initStats();
+}
+
+void Xsim::initStats() {
+  stats_ = Stats{};
+  stats_.opCount.clear();
+  for (const auto& field : machine_->fields)
+    stats_.opCount.emplace_back(field.operations.size(), 0);
+  stats_.fieldUtilization.assign(machine_->fields.size(), 0);
+}
+
+bool Xsim::loadProgram(const AssembledProgram& prog, std::string* error) {
+  lastProgram_ = prog;
+  state_.reset();
+  engine_.reset();
+  initStats();
+  warnedSelfModify_ = false;
+
+  const unsigned imem = static_cast<unsigned>(machine_->imemIndex);
+  if (prog.words.size() > state_.depth(imem)) {
+    if (error)
+      *error = cat("program (", prog.words.size(),
+                   " words) does not fit in instruction memory (depth ",
+                   state_.depth(imem), ")");
+    return false;
+  }
+  for (std::size_t i = 0; i < prog.words.size(); ++i)
+    state_.write(imem, i, prog.words[i], 0);
+
+  // Data-memory initialisation records.
+  int dmIndex = -1;
+  for (std::size_t si = 0; si < machine_->storages.size(); ++si)
+    if (machine_->storages[si].kind == StorageKind::DataMemory)
+      dmIndex = static_cast<int>(si);
+  for (const auto& [addr, value] : prog.dataInit) {
+    if (dmIndex < 0) {
+      if (error) *error = ".dm record but the machine has no data_memory";
+      return false;
+    }
+    if (addr >= state_.depth(dmIndex)) {
+      if (error) *error = cat(".dm address ", addr, " out of range");
+      return false;
+    }
+    state_.write(static_cast<unsigned>(dmIndex), addr, value, 0);
+  }
+
+  // Off-line disassembly (paper §3.1): decode the whole program region now.
+  std::vector<BitVector> image;
+  image.reserve(prog.words.size());
+  for (std::size_t i = 0; i < prog.words.size(); ++i)
+    image.push_back(state_.read(imem, i));
+  decoded_ = disasm_.decodeProgram(image, prog.words.size());
+
+  state_.setPc(0, 0);
+  if (!prog.words.empty() && !decoded_.hasInstructionAt(0)) {
+    if (error) {
+      std::string msg;
+      disasm_.decodeAt(image, 0, &msg);
+      *error = "no decodable instruction at address 0: " + msg;
+    }
+    return false;
+  }
+  return true;
+}
+
+void Xsim::reset() {
+  std::string err;
+  loadProgram(lastProgram_, &err);
+}
+
+std::optional<RunResult> Xsim::executeOne() {
+  std::uint64_t addr = state_.pc();
+  if (!decoded_.hasInstructionAt(addr)) {
+    if (addr >= decoded_.byAddress.size())
+      return RunResult{StopReason::PcOutOfRange,
+                       cat("PC = ", addr, " is outside the loaded program (",
+                           decoded_.byAddress.size(), " words)")};
+    // Rebuild the message with a fresh decode attempt.
+    const unsigned imem = static_cast<unsigned>(machine_->imemIndex);
+    std::vector<BitVector> image;
+    for (std::size_t i = 0; i < decoded_.byAddress.size(); ++i)
+      image.push_back(state_.read(imem, i));
+    std::string msg;
+    disasm_.decodeAt(image, addr, &msg);
+    return RunResult{StopReason::IllegalInstruction, msg};
+  }
+
+  const DecodedInstruction& inst = decoded_.byAddress[addr];
+  if (trace_) trace_(addr);
+
+  ExecEngine::IssueInfo info = engine_.issue(inst);
+  if (!info.ok)
+    return RunResult{StopReason::RuntimeError,
+                     cat("at address ", addr, ": ", info.error)};
+
+  stats_.instructions += 1;
+  stats_.dataStallCycles += info.dataStallCycles;
+  stats_.structStallCycles += info.structStallCycles;
+  bool isHalt = false;
+  for (std::size_t f = 0; f < inst.ops.size(); ++f) {
+    stats_.opCount[f][inst.ops[f].opIndex] += 1;
+    if (static_cast<int>(inst.ops[f].opIndex) != machine_->fields[f].nopIndex)
+      stats_.fieldUtilization[f] += 1;
+    if (static_cast<int>(f) == haltField_ &&
+        static_cast<int>(inst.ops[f].opIndex) == haltOp_)
+      isHalt = true;
+  }
+  stats_.cycles = engine_.cycle();
+
+  if (!info.pcCommitted)
+    state_.setPc(addr + inst.sizeWords, engine_.cycle());
+
+  if (isHalt) return RunResult{StopReason::Halted, {}};
+  return std::nullopt;
+}
+
+RunResult Xsim::run(std::uint64_t maxCycles) {
+  bool first = true;
+  for (;;) {
+    if (engine_.cycle() >= maxCycles)
+      return {StopReason::MaxCycles,
+              cat("cycle budget of ", maxCycles, " exhausted")};
+    std::uint64_t addr = state_.pc();
+    if (!first && breakpoints_.count(addr)) {
+      if (breakpointHook_) breakpointHook_(addr);
+      return {StopReason::Breakpoint, cat("breakpoint at address ", addr)};
+    }
+    first = false;
+    if (auto stop = executeOne()) return *stop;
+  }
+}
+
+RunResult Xsim::step(std::uint64_t n) {
+  for (std::uint64_t i = 0; i < n; ++i) {
+    if (auto stop = executeOne()) return *stop;
+  }
+  return {StopReason::MaxInstructions, {}};
+}
+
+}  // namespace isdl::sim

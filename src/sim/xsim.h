@@ -1,0 +1,141 @@
+// XSIM: the generated instruction-level simulator (paper §3). Where the
+// paper's GENSIM emits C source compiled against a common library, this
+// implementation constructs the same six components (Figure 2) directly from
+// the Machine model at run time:
+//
+//   user interface / file I/O  -> sim/cli.h (command-line + batch interface)
+//   scheduler                  -> Xsim::run/step (sequencing, breakpoints,
+//                                 traces, attached commands)
+//   state monitors             -> sim::Monitors
+//   state                      -> sim::State
+//   disassembler               -> sim::Disassembler (off-line, at load time)
+//   processing core            -> sim::ExecEngine
+//
+// A separate generator (sim/codegen.h) also emits a standalone compiled-code
+// C++ simulator, the paper's §6.2 "future work" extension.
+
+#ifndef ISDL_SIM_XSIM_H
+#define ISDL_SIM_XSIM_H
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "sim/assembler.h"
+#include "sim/core.h"
+#include "sim/disasm.h"
+#include "sim/signature.h"
+#include "sim/state.h"
+
+namespace isdl::sim {
+
+/// Why a run() / step() returned.
+enum class StopReason {
+  Halted,              ///< executed the architecture's halt operation
+  Breakpoint,          ///< about to execute a breakpointed address
+  MaxCycles,           ///< cycle budget exhausted
+  MaxInstructions,     ///< instruction budget exhausted (step())
+  IllegalInstruction,  ///< PC points at an undecodable word
+  PcOutOfRange,        ///< PC left the loaded program region
+  RuntimeError,        ///< RTL trap (out-of-range access, write conflict...)
+};
+
+const char* stopReasonName(StopReason r);
+
+struct RunResult {
+  StopReason reason = StopReason::MaxCycles;
+  std::string message;  ///< details for error reasons
+};
+
+/// Execution statistics — the "performance measurements and utilization
+/// statistics" of the paper's exploration loop (Figure 1).
+struct Stats {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t dataStallCycles = 0;
+  std::uint64_t structStallCycles = 0;
+  /// opCount[field][op] = number of times the operation issued.
+  std::vector<std::vector<std::uint64_t>> opCount;
+  /// Instructions in which the field executed something other than its nop.
+  std::vector<std::uint64_t> fieldUtilization;
+};
+
+class Xsim {
+ public:
+  /// Builds the simulator for a checked Machine. Throws IsdlError if the
+  /// description's assembly function is not decodeable.
+  explicit Xsim(const Machine& machine);
+
+  const Machine& machine() const { return *machine_; }
+  State& state() { return state_; }
+  const State& state() const { return state_; }
+  Monitors& monitors() { return state_.monitors(); }
+  const SignatureTable& signatures() const { return sigs_; }
+  const Disassembler& disassembler() const { return disasm_; }
+
+  /// Loads a program image: copies words into instruction memory, applies
+  /// .dm data-memory records, runs the off-line disassembler, resets PC.
+  /// Returns false (with a message) if the program region contains no
+  /// decodable instruction at address 0.
+  bool loadProgram(const AssembledProgram& prog, std::string* error = nullptr);
+
+  /// Resets state and statistics and reloads the last program.
+  void reset();
+
+  /// Runs until a stop condition; at most `maxCycles` total machine cycles.
+  RunResult run(std::uint64_t maxCycles = ~std::uint64_t{0});
+  /// Executes up to `n` instructions (breakpoints are ignored while
+  /// stepping, like in every debugger).
+  RunResult step(std::uint64_t n = 1);
+
+  // --- breakpoints & attached commands -------------------------------------
+  void addBreakpoint(std::uint64_t addr) { breakpoints_.insert(addr); }
+  void removeBreakpoint(std::uint64_t addr) { breakpoints_.erase(addr); }
+  const std::set<std::uint64_t>& breakpoints() const { return breakpoints_; }
+  /// Attached command: invoked when a breakpoint is hit, before stopping.
+  void setBreakpointHook(std::function<void(std::uint64_t)> hook) {
+    breakpointHook_ = std::move(hook);
+  }
+
+  // --- execution address trace (paper §3.1) ---------------------------------
+  /// Called with the address of every issued instruction; pass nullptr to
+  /// disable. The paper's "written into a file" mode is a callback that
+  /// writes lines (see Cli).
+  void setTraceCallback(std::function<void(std::uint64_t)> cb) {
+    trace_ = std::move(cb);
+  }
+
+  const Stats& stats() const { return stats_; }
+  std::uint64_t cycle() const { return engine_.cycle(); }
+
+  /// Commits in-flight delayed writes (call before inspecting final state).
+  void drainPipeline() { engine_.drain(); }
+
+  const DecodedProgram& decodedProgram() const { return decoded_; }
+
+ private:
+  const Machine* machine_;
+  DiagnosticEngine sigDiags_;
+  SignatureTable sigs_;
+  Disassembler disasm_;
+  State state_;
+  ExecEngine engine_;
+  DecodedProgram decoded_;
+  AssembledProgram lastProgram_;
+  std::set<std::uint64_t> breakpoints_;
+  std::function<void(std::uint64_t)> breakpointHook_;
+  std::function<void(std::uint64_t)> trace_;
+  Stats stats_;
+  int haltField_ = -1;
+  int haltOp_ = -1;
+  bool warnedSelfModify_ = false;
+
+  /// Executes exactly one instruction; returns nullopt to continue.
+  std::optional<RunResult> executeOne();
+  void initStats();
+};
+
+}  // namespace isdl::sim
+
+#endif  // ISDL_SIM_XSIM_H

@@ -1,0 +1,168 @@
+// BitVector: arbitrary-width, bit-true two's-complement integer value.
+//
+// This is the value type underlying every architectural quantity in the
+// toolchain: storage elements, instruction words, RTL temporaries, and
+// netlist signals. All operations are defined modulo 2^width, which is what
+// makes the generated simulators "bit-true by construction" (paper section 3).
+//
+// Widths are arbitrary (not capped at 64): VLIW instruction words routinely
+// exceed 64 bits (SPAM uses a 128-bit word). Values up to 128 bits are stored
+// inline; wider values spill to the heap.
+
+#ifndef ISDL_SUPPORT_BITVECTOR_H
+#define ISDL_SUPPORT_BITVECTOR_H
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace isdl {
+
+class BitVector {
+ public:
+  /// Width-0 vector. Valid only as a "no value" placeholder; most operations
+  /// require width > 0.
+  BitVector() noexcept : width_(0), nwords_(0) { inline_.fill(0); }
+
+  /// Zero-valued vector of the given width.
+  explicit BitVector(unsigned width);
+
+  /// Vector of `width` bits holding `value` (truncated modulo 2^width).
+  BitVector(unsigned width, std::uint64_t value);
+
+  BitVector(const BitVector& other);
+  BitVector(BitVector&& other) noexcept;
+  BitVector& operator=(const BitVector& other);
+  BitVector& operator=(BitVector&& other) noexcept;
+  ~BitVector();
+
+  /// Parses "0x..", "0b..", or decimal digits into a vector of the given
+  /// width. Throws std::invalid_argument on malformed input or overflow of
+  /// the requested width (decimal only; hex/binary truncate like hardware).
+  static BitVector fromString(unsigned width, std::string_view text);
+
+  /// Signed construction: sign-extends `value` then truncates to `width`.
+  static BitVector fromInt(unsigned width, std::int64_t value);
+
+  /// All-ones vector of the given width.
+  static BitVector allOnes(unsigned width);
+
+  unsigned width() const noexcept { return width_; }
+  bool valid() const noexcept { return width_ != 0; }
+
+  bool bit(unsigned i) const;
+  void setBit(unsigned i, bool v);
+
+  bool isZero() const noexcept;
+  bool isAllOnes() const noexcept;
+  /// True if the sign bit (msb) is set.
+  bool isNegative() const { return bit(width_ - 1); }
+
+  /// Low 64 bits (zero-extended if narrower).
+  std::uint64_t toUint64() const noexcept;
+  /// Low 64 bits with the value sign-extended from `width` into 64 bits.
+  std::int64_t toInt64() const noexcept;
+
+  std::string toHexString() const;     // e.g. "0x0f3a" (width/4 digits, ceil)
+  std::string toBinaryString() const;  // e.g. "0b0101", width digits
+  std::string toUnsignedDecimalString() const;
+
+  // --- width changes -------------------------------------------------------
+  BitVector zext(unsigned newWidth) const;  ///< zero-extend (newWidth >= width)
+  BitVector sext(unsigned newWidth) const;  ///< sign-extend (newWidth >= width)
+  BitVector trunc(unsigned newWidth) const; ///< truncate  (newWidth <= width)
+  /// zext or trunc as appropriate.
+  BitVector resize(unsigned newWidth) const;
+
+  // --- bit rearrangement ---------------------------------------------------
+  /// Bits [hi..lo] inclusive as a (hi-lo+1)-wide vector.
+  BitVector slice(unsigned hi, unsigned lo) const;
+  /// Copy of *this with bits [hi..lo] replaced by `v` (v.width == hi-lo+1).
+  BitVector withSlice(unsigned hi, unsigned lo, const BitVector& v) const;
+  /// In-place variant of withSlice.
+  void insertSlice(unsigned hi, unsigned lo, const BitVector& v);
+  /// {*this, low}: *this occupies the high bits.
+  BitVector concat(const BitVector& low) const;
+
+  // --- arithmetic (operands must have equal widths; result same width) ------
+  BitVector add(const BitVector& rhs) const;
+  BitVector sub(const BitVector& rhs) const;
+  BitVector mul(const BitVector& rhs) const;
+  BitVector udiv(const BitVector& rhs) const;  ///< x/0 yields all-ones
+  BitVector urem(const BitVector& rhs) const;  ///< x%0 yields x
+  BitVector sdiv(const BitVector& rhs) const;
+  BitVector srem(const BitVector& rhs) const;
+  BitVector neg() const;
+
+  struct AddResult;
+  /// Add with carry-in; reports carry-out and signed overflow — used by
+  /// operation side-effects that set condition codes.
+  AddResult addWithCarry(const BitVector& rhs, bool carryIn) const;
+
+  // --- bitwise --------------------------------------------------------------
+  BitVector and_(const BitVector& rhs) const;
+  BitVector or_(const BitVector& rhs) const;
+  BitVector xor_(const BitVector& rhs) const;
+  BitVector not_() const;
+
+  // --- shifts (shift amount is a plain integer; result keeps width) ---------
+  BitVector shl(unsigned amount) const;
+  BitVector lshr(unsigned amount) const;
+  BitVector ashr(unsigned amount) const;
+
+  // --- comparisons -----------------------------------------------------------
+  bool operator==(const BitVector& rhs) const noexcept;
+  bool operator!=(const BitVector& rhs) const noexcept { return !(*this == rhs); }
+  bool ult(const BitVector& rhs) const;
+  bool ule(const BitVector& rhs) const;
+  bool slt(const BitVector& rhs) const;
+  bool sle(const BitVector& rhs) const;
+
+  // --- reductions -------------------------------------------------------------
+  unsigned popcount() const noexcept;
+  bool reduceAnd() const noexcept { return isAllOnes(); }
+  bool reduceOr() const noexcept { return !isZero(); }
+  bool reduceXor() const noexcept { return popcount() & 1u; }
+
+  /// Stable hash suitable for unordered containers.
+  std::size_t hash() const noexcept;
+
+ private:
+  static constexpr unsigned kInlineWords = 2;  // 128 bits inline
+
+  unsigned width_;
+  unsigned nwords_;
+  union {
+    std::array<std::uint64_t, kInlineWords> inline_;
+    std::uint64_t* heap_;
+  };
+
+  bool onHeap() const noexcept { return nwords_ > kInlineWords; }
+  std::uint64_t* words() noexcept { return onHeap() ? heap_ : inline_.data(); }
+  const std::uint64_t* words() const noexcept {
+    return onHeap() ? heap_ : inline_.data();
+  }
+  void allocate(unsigned width);
+  void release() noexcept;
+  void clearUnusedBits() noexcept;
+  static unsigned wordsFor(unsigned width) { return (width + 63) / 64; }
+  void requireSameWidth(const BitVector& rhs, const char* op) const;
+};
+
+struct BitVector::AddResult {
+  BitVector sum;
+  bool carryOut;
+  bool overflow;
+};
+
+}  // namespace isdl
+
+template <>
+struct std::hash<isdl::BitVector> {
+  std::size_t operator()(const isdl::BitVector& v) const noexcept {
+    return v.hash();
+  }
+};
+
+#endif  // ISDL_SUPPORT_BITVECTOR_H

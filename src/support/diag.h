@@ -1,0 +1,88 @@
+// Diagnostics: source locations and an error collector shared by the ISDL
+// front-end (lexer/parser/semantic analysis) and the assembler.
+
+#ifndef ISDL_SUPPORT_DIAG_H
+#define ISDL_SUPPORT_DIAG_H
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace isdl {
+
+/// A position in an input buffer (1-based line/column; 0 means "unknown").
+struct SourceLoc {
+  unsigned line = 0;
+  unsigned col = 0;
+
+  bool known() const { return line != 0; }
+  std::string str() const {
+    if (!known()) return "<unknown>";
+    return std::to_string(line) + ":" + std::to_string(col);
+  }
+};
+
+enum class Severity { Note, Warning, Error };
+
+struct Diagnostic {
+  Severity severity = Severity::Error;
+  SourceLoc loc;
+  std::string message;
+
+  std::string str() const {
+    const char* sev = severity == Severity::Error     ? "error"
+                      : severity == Severity::Warning ? "warning"
+                                                      : "note";
+    return loc.str() + ": " + sev + ": " + message;
+  }
+};
+
+/// Collects diagnostics; callers check hasErrors() at phase boundaries.
+class DiagnosticEngine {
+ public:
+  void error(SourceLoc loc, std::string message) {
+    diags_.push_back({Severity::Error, loc, std::move(message)});
+    ++errorCount_;
+  }
+  void warning(SourceLoc loc, std::string message) {
+    diags_.push_back({Severity::Warning, loc, std::move(message)});
+  }
+  void note(SourceLoc loc, std::string message) {
+    diags_.push_back({Severity::Note, loc, std::move(message)});
+  }
+
+  bool hasErrors() const { return errorCount_ != 0; }
+  unsigned errorCount() const { return errorCount_; }
+  const std::vector<Diagnostic>& all() const { return diags_; }
+
+  /// All diagnostics joined with newlines — convenient for test failure
+  /// messages and for the thrown summary below.
+  std::string dump() const {
+    std::string out;
+    for (const auto& d : diags_) {
+      out += d.str();
+      out += '\n';
+    }
+    return out;
+  }
+
+  void clear() {
+    diags_.clear();
+    errorCount_ = 0;
+  }
+
+ private:
+  std::vector<Diagnostic> diags_;
+  unsigned errorCount_ = 0;
+};
+
+/// Thrown by convenience entry points (e.g. "parse this description or die")
+/// when the caller did not supply a DiagnosticEngine to inspect.
+class IsdlError : public std::runtime_error {
+ public:
+  explicit IsdlError(const std::string& what) : std::runtime_error(what) {}
+};
+
+}  // namespace isdl
+
+#endif  // ISDL_SUPPORT_DIAG_H

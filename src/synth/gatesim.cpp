@@ -1,0 +1,157 @@
+#include "synth/gatesim.h"
+
+#include "rtl/eval.h"
+#include "support/strings.h"
+
+namespace isdl::synth {
+
+using hw::kNoNet;
+using hw::NetId;
+using hw::NodeKind;
+
+GateSim::GateSim(const hw::Netlist& netlist) : nl_(&netlist) {
+  order_ = netlist.topoOrder();
+  reset();
+}
+
+void GateSim::reset() {
+  values_.clear();
+  values_.reserve(nl_->nodes.size());
+  for (const auto& n : nl_->nodes) values_.emplace_back(BitVector(n.width));
+  mems_.clear();
+  for (const auto& m : nl_->memories)
+    mems_.emplace_back(m.depth, BitVector(m.width));
+  clocks_ = 0;
+  toggles_ = 0;
+}
+
+void GateSim::loadMemory(int memId, const std::vector<BitVector>& contents) {
+  auto& mem = mems_[memId];
+  for (std::size_t i = 0; i < contents.size() && i < mem.size(); ++i)
+    mem[i] = contents[i].resize(nl_->memories[memId].width);
+}
+
+void GateSim::pokeMemory(int memId, std::uint64_t addr,
+                         const BitVector& value) {
+  mems_[memId][addr] = value.resize(nl_->memories[memId].width);
+}
+
+const BitVector& GateSim::peekMemory(int memId, std::uint64_t addr) const {
+  return mems_[memId][addr];
+}
+
+void GateSim::pokeReg(hw::NetId reg, const BitVector& value) {
+  values_[reg] = value.resize(nl_->nodes[reg].width);
+}
+
+void GateSim::setInput(hw::NetId input, const BitVector& value) {
+  values_[input] = value.resize(nl_->nodes[input].width);
+}
+
+hw::NetId GateSim::findOutput(const std::string& name) const {
+  for (const auto& out : nl_->outputs)
+    if (out.name == name) return out.net;
+  return kNoNet;
+}
+
+void GateSim::evalCombinational() {
+  for (NetId id : order_) {
+    const hw::Node& n = nl_->nodes[id];
+    BitVector v;
+    switch (n.kind) {
+      case NodeKind::Input:
+      case NodeKind::Reg:
+        continue;  // state / externally driven
+      case NodeKind::Const:
+        v = n.constValue;
+        break;
+      case NodeKind::Unary:
+        v = rtl::applyUnOp(n.unOp, values_[n.ins[0]]);
+        break;
+      case NodeKind::Binary:
+        v = rtl::applyBinOp(n.binOp, values_[n.ins[0]], values_[n.ins[1]]);
+        break;
+      case NodeKind::AddSub:
+        v = values_[n.ins[2]].isZero()
+                ? values_[n.ins[0]].add(values_[n.ins[1]])
+                : values_[n.ins[0]].sub(values_[n.ins[1]]);
+        break;
+      case NodeKind::Mux:
+        v = values_[n.ins[0]].isZero() ? values_[n.ins[2]]
+                                       : values_[n.ins[1]];
+        break;
+      case NodeKind::Slice:
+        v = values_[n.ins[0]].slice(n.hi, n.lo);
+        break;
+      case NodeKind::Concat: {
+        v = values_[n.ins[0]];
+        for (std::size_t i = 1; i < n.ins.size(); ++i)
+          v = v.concat(values_[n.ins[i]]);
+        break;
+      }
+      case NodeKind::ZExt:
+        v = values_[n.ins[0]].zext(n.width);
+        break;
+      case NodeKind::SExt:
+        v = values_[n.ins[0]].sext(n.width);
+        break;
+      case NodeKind::Trunc:
+        v = values_[n.ins[0]].trunc(n.width);
+        break;
+      case NodeKind::IToF:
+        v = rtl::intToFloat(values_[n.ins[0]], n.width);
+        break;
+      case NodeKind::FToI:
+        v = rtl::floatToInt(values_[n.ins[0]], n.width);
+        break;
+      case NodeKind::MemRead: {
+        const auto& mem = mems_[n.memId];
+        std::uint64_t addr = values_[n.ins[0]].toUint64() % mem.size();
+        v = mem[addr];
+        break;
+      }
+    }
+    if (countToggles_) {
+      toggles_ += values_[id].xor_(v.resize(values_[id].width())).popcount();
+    }
+    values_[id] = std::move(v);
+  }
+}
+
+void GateSim::step() {
+  evalCombinational();
+
+  // Sequential commit, two-phase: sample every next value before writing.
+  std::vector<std::pair<NetId, BitVector>> regUpdates;
+  for (std::size_t i = 0; i < nl_->nodes.size(); ++i) {
+    const hw::Node& n = nl_->nodes[i];
+    if (n.kind != NodeKind::Reg) continue;
+    NetId next = n.ins[0];
+    NetId enable = n.ins.size() > 1 ? n.ins[1] : kNoNet;
+    if (next == kNoNet) continue;  // unconnected register holds its value
+    if (enable != kNoNet && values_[enable].isZero()) continue;
+    regUpdates.emplace_back(static_cast<NetId>(i), values_[next]);
+  }
+  std::vector<std::tuple<int, std::uint64_t, BitVector>> memUpdates;
+  for (std::size_t m = 0; m < nl_->memories.size(); ++m) {
+    for (const auto& port : nl_->memories[m].writePorts) {
+      if (values_[port.enable].isZero()) continue;
+      std::uint64_t addr =
+          values_[port.addr].toUint64() % mems_[m].size();
+      memUpdates.emplace_back(static_cast<int>(m), addr, values_[port.data]);
+    }
+  }
+  for (auto& [id, v] : regUpdates) values_[id] = std::move(v);
+  for (auto& [m, addr, v] : memUpdates) mems_[m][addr] = std::move(v);
+  ++clocks_;
+}
+
+bool GateSim::runUntil(hw::NetId stopNet, std::uint64_t maxClocks) {
+  for (std::uint64_t i = 0; i < maxClocks; ++i) {
+    step();
+    if (!values_[stopNet].isZero()) return true;
+  }
+  return false;
+}
+
+}  // namespace isdl::synth

@@ -1,0 +1,71 @@
+// Cycle-based netlist simulator: executes an HGEN-generated hardware model.
+//
+// This is the reproduction's stand-in for the paper's Cadence Verilog-XL run
+// of the synthesizable model (Table 1): a levelized two-phase simulator that
+// evaluates every combinational node in topological order each clock, then
+// commits registers and memory write ports. It is intentionally a
+// *hardware-model* simulator — every wire of the datapath is computed every
+// cycle — which is what makes it orders of magnitude slower than the ILS.
+//
+// It doubles as the co-simulation oracle: tests run the same binary on XSIM
+// and on the netlist model and compare architectural state.
+
+#ifndef ISDL_SYNTH_GATESIM_H
+#define ISDL_SYNTH_GATESIM_H
+
+#include <string>
+#include <vector>
+
+#include "hw/netlist.h"
+
+namespace isdl::synth {
+
+class GateSim {
+ public:
+  explicit GateSim(const hw::Netlist& netlist);
+
+  /// Zeroes all registers, memories and input nodes.
+  void reset();
+
+  // --- memory / state access ---------------------------------------------------
+  void loadMemory(int memId, const std::vector<BitVector>& contents);
+  void pokeMemory(int memId, std::uint64_t addr, const BitVector& value);
+  const BitVector& peekMemory(int memId, std::uint64_t addr) const;
+  void pokeReg(hw::NetId reg, const BitVector& value);
+  /// Value of any net after the last step() (combinational nets) or the
+  /// current state (Reg nodes).
+  const BitVector& peekNet(hw::NetId net) const { return values_[net]; }
+  void setInput(hw::NetId input, const BitVector& value);
+
+  /// Named output lookup; returns kNoNet if absent.
+  hw::NetId findOutput(const std::string& name) const;
+
+  // --- clocking -------------------------------------------------------------------
+  /// Simulates one clock: combinational evaluation + sequential commit.
+  void step();
+  /// Steps until the 1-bit net `stopNet` is high or `maxClocks` elapse.
+  /// Returns true if the stop condition fired.
+  bool runUntil(hw::NetId stopNet, std::uint64_t maxClocks);
+
+  std::uint64_t clocks() const { return clocks_; }
+
+  /// Total bits toggled across all nets so far — the activity input of the
+  /// power model (synth/power.h).
+  std::uint64_t toggleCount() const { return toggles_; }
+  void enableToggleCounting(bool on) { countToggles_ = on; }
+
+ private:
+  const hw::Netlist* nl_;
+  std::vector<hw::NetId> order_;
+  std::vector<BitVector> values_;
+  std::vector<std::vector<BitVector>> mems_;
+  std::uint64_t clocks_ = 0;
+  std::uint64_t toggles_ = 0;
+  bool countToggles_ = false;
+
+  void evalCombinational();
+};
+
+}  // namespace isdl::synth
+
+#endif  // ISDL_SYNTH_GATESIM_H

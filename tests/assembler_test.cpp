@@ -1,0 +1,254 @@
+// Tests for the retargetable assembler and its round trip through the
+// signature-based disassembler (paper Figure 4).
+
+#include "sim/assembler.h"
+
+#include <gtest/gtest.h>
+
+#include "isdl/parser.h"
+#include "sim/disasm.h"
+#include "test_machines.h"
+
+namespace isdl::sim {
+namespace {
+
+class AssemblerTest : public ::testing::Test {
+ protected:
+  AssemblerTest()
+      : machine_(parseAndCheckIsdl(testing::kMiniIsdl)),
+        sigs_(*machine_, sigDiags_),
+        assembler_(sigs_),
+        disasm_(sigs_) {
+    EXPECT_TRUE(sigs_.valid()) << sigDiags_.dump();
+  }
+
+  AssembledProgram assembleOk(std::string_view src) {
+    DiagnosticEngine diags;
+    auto prog = assembler_.assemble(src, diags);
+    EXPECT_TRUE(prog.has_value()) << diags.dump();
+    return prog.value_or(AssembledProgram{});
+  }
+
+  void expectAsmError(std::string_view src, std::string_view needle) {
+    DiagnosticEngine diags;
+    auto prog = assembler_.assemble(src, diags);
+    EXPECT_FALSE(prog.has_value());
+    EXPECT_NE(diags.dump().find(needle), std::string::npos)
+        << "expected error containing '" << needle << "', got:\n"
+        << diags.dump();
+  }
+
+  /// Disassembles word `addr` of a program and renders it back to text.
+  std::string roundTrip(const AssembledProgram& prog, std::uint64_t addr) {
+    auto inst = disasm_.decodeAt(prog.words, addr);
+    EXPECT_TRUE(inst.has_value());
+    if (!inst) return {};
+    return disasm_.render(*inst);
+  }
+
+  std::unique_ptr<Machine> machine_;
+  DiagnosticEngine sigDiags_;
+  SignatureTable sigs_;
+  Assembler assembler_;
+  Disassembler disasm_;
+};
+
+TEST_F(AssemblerTest, SingleOpInstruction) {
+  auto prog = assembleOk("add R3, R1, R2\n");
+  ASSERT_EQ(prog.words.size(), 1u);
+  const BitVector& w = prog.words[0];
+  EXPECT_EQ(w.slice(31, 27).toUint64(), 1u);  // add opcode
+  EXPECT_EQ(w.slice(26, 24).toUint64(), 3u);
+  EXPECT_EQ(w.slice(23, 21).toUint64(), 1u);
+  EXPECT_EQ(w.slice(20, 18).toUint64(), 2u);
+  EXPECT_EQ(w.slice(8, 6).toUint64(), 0u);  // MV field filled with mnop
+}
+
+TEST_F(AssemblerTest, VliwInstruction) {
+  auto prog = assembleOk("{ add R3, R1, R2 | mv R4, R5 }\n");
+  ASSERT_EQ(prog.words.size(), 1u);
+  const BitVector& w = prog.words[0];
+  EXPECT_EQ(w.slice(31, 27).toUint64(), 1u);
+  EXPECT_EQ(w.slice(8, 6).toUint64(), 1u);  // mv
+  EXPECT_EQ(w.slice(5, 3).toUint64(), 4u);
+  EXPECT_EQ(w.slice(2, 0).toUint64(), 5u);
+}
+
+TEST_F(AssemblerTest, FieldQualifiedMnemonic) {
+  auto prog = assembleOk("{ EX.nop | MV.mv R1, R2 }\n");
+  EXPECT_EQ(prog.words[0].slice(8, 6).toUint64(), 1u);
+}
+
+TEST_F(AssemblerTest, NonTerminalOptions) {
+  auto prog = assembleOk("addi R1, R2\naddi R1, #42\n");
+  ASSERT_EQ(prog.words.size(), 2u);
+  // reg option: s bits [23:15], msb ($$[8]) clear, r in low bits.
+  EXPECT_EQ(prog.words[0].slice(23, 23).toUint64(), 0u);
+  EXPECT_EQ(prog.words[0].slice(17, 15).toUint64(), 2u);
+  // imm option: msb set, payload 42.
+  EXPECT_EQ(prog.words[1].slice(23, 23).toUint64(), 1u);
+  EXPECT_EQ(prog.words[1].slice(22, 15).toUint64(), 42u);
+}
+
+TEST_F(AssemblerTest, SignedImmediates) {
+  auto prog = assembleOk("li R1, -5\nli R2, 127\nli R3, -128\n");
+  EXPECT_EQ(prog.words[0].slice(23, 16).toUint64(), 0xFBu);  // -5 two's compl
+  EXPECT_EQ(prog.words[1].slice(23, 16).toUint64(), 127u);
+  EXPECT_EQ(prog.words[2].slice(23, 16).toUint64(), 0x80u);
+}
+
+TEST_F(AssemblerTest, ImmediateRangeErrors) {
+  expectAsmError("li R1, 300\n", "out of range");
+  expectAsmError("li R1, -129\n", "out of range");
+  expectAsmError("addi R1, #256\n", "out of range");
+  expectAsmError("jmp 256\n", "out of range");
+}
+
+TEST_F(AssemblerTest, LabelsForwardAndBackward) {
+  auto prog = assembleOk(R"(
+start:  li R1, 0
+loop:   addi R1, #1
+        beq R1, R2, done
+        jmp loop
+done:   halt
+)");
+  EXPECT_EQ(prog.symbols.at("start"), 0u);
+  EXPECT_EQ(prog.symbols.at("loop"), 1u);
+  EXPECT_EQ(prog.symbols.at("done"), 4u);
+  // beq at word 2 encodes target "done" = 4 in bits [20:13].
+  EXPECT_EQ(prog.words[2].slice(20, 13).toUint64(), 4u);
+  // jmp at word 3 encodes "loop" = 1 in bits [26:19].
+  EXPECT_EQ(prog.words[3].slice(26, 19).toUint64(), 1u);
+}
+
+TEST_F(AssemblerTest, UndefinedAndDuplicateLabels) {
+  expectAsmError("jmp nowhere\n", "undefined label");
+  expectAsmError("x: nop\nx: nop\n", "duplicate label");
+}
+
+TEST_F(AssemblerTest, OrgAndWordDirectives) {
+  auto prog = assembleOk(".org 2\nentry: nop\n.word 0xDEADBEEF\n");
+  ASSERT_EQ(prog.words.size(), 4u);
+  EXPECT_EQ(prog.symbols.at("entry"), 2u);
+  EXPECT_TRUE(prog.words[0].isZero());
+  EXPECT_EQ(prog.words[3].toUint64(), 0xDEADBEEFu);
+  expectAsmError("nop\n.org 0\nnop\n", "backwards");
+}
+
+TEST_F(AssemblerTest, DataMemoryRecords) {
+  auto prog = assembleOk(".dm 5 1234\n.dm 6 0xFFFF\nnop\n");
+  ASSERT_EQ(prog.dataInit.size(), 2u);
+  EXPECT_EQ(prog.dataInit[0].first, 5u);
+  EXPECT_EQ(prog.dataInit[0].second.toUint64(), 1234u);
+  EXPECT_EQ(prog.dataInit[1].second.toUint64(), 0xFFFFu);
+  EXPECT_EQ(prog.dataInit[1].second.width(), 16u);  // data memory width
+}
+
+TEST_F(AssemblerTest, ConstraintViolationRejected) {
+  // EX.add & MV.mvi is forbidden by a pure architectural constraint.
+  expectAsmError("{ add R1, R2, R3 | mvi R4, 7 }\n", "violates constraint");
+  // The same ops individually are fine.
+  assembleOk("add R1, R2, R3\nmvi R4, 7\n");
+}
+
+TEST_F(AssemblerTest, UnknownMnemonicAndJunk) {
+  expectAsmError("frob R1\n", "unknown operation");
+  expectAsmError("nop extra\n", "trailing junk");
+  expectAsmError("{ nop | nop }\n", "already occupied");
+}
+
+TEST_F(AssemblerTest, RoundTripThroughDisassembler) {
+  auto prog = assembleOk(R"(
+{ add R3, R1, R2 | mv R4, R5 }
+addi R1, #42
+addi R2, R7
+li R5, -3
+{ ld R2, R6 | mv R0, R1 }
+st R6, R2
+beq R1, R2, 0
+jmp 7
+halt
+)");
+  const char* expected[] = {
+      "{ add R3, R1, R2 | mv R4, R5 }",
+      "{ addi R1, # 42 | mnop }",
+      "{ addi R2, R7 | mnop }",
+      "{ li R5, -3 | mnop }",
+      "{ ld R2, R6 | mv R0, R1 }",
+      "{ st R6, R2 | mnop }",
+      "{ beq R1, R2, 0 | mnop }",
+      "{ jmp 7 | mnop }",
+      "{ halt | mnop }",
+  };
+  for (std::size_t i = 0; i < std::size(expected); ++i)
+    EXPECT_EQ(roundTrip(prog, i), expected[i]) << "word " << i;
+}
+
+TEST_F(AssemblerTest, ReassemblyOfRenderedTextIsStable) {
+  // asm -> bin -> text -> bin must reproduce identical words.
+  const char* src = R"(
+{ add R3, R1, R2 | mv R4, R5 }
+addi R1, #42
+li R5, -3
+st R6, R2
+)";
+  auto prog1 = assembleOk(src);
+  std::string rendered;
+  for (std::size_t i = 0; i < prog1.words.size(); ++i)
+    rendered += roundTrip(prog1, i) + "\n";
+  auto prog2 = assembleOk(rendered);
+  ASSERT_EQ(prog1.words.size(), prog2.words.size());
+  for (std::size_t i = 0; i < prog1.words.size(); ++i)
+    EXPECT_EQ(prog1.words[i], prog2.words[i]) << "word " << i;
+}
+
+TEST_F(AssemblerTest, CommentsAndBlankLines) {
+  auto prog = assembleOk(R"(
+; full-line comment
+   // and another
+
+nop   ; trailing comment
+nop   // trailing slashes
+)");
+  EXPECT_EQ(prog.words.size(), 2u);
+}
+
+TEST(AssemblerConflict, OverlappingUnconstrainedBitsReported) {
+  // Two fields whose operations share instruction bits without a constraint:
+  // the assembler must reject the combination with a pointed message.
+  auto m = parseAndCheckIsdl(R"(
+machine M {
+  section format { word_width = 16; }
+  section storage {
+    instruction_memory IM width 16 depth 16;
+    program_counter PC width 4;
+  }
+  section global_definitions { token U8 immediate unsigned width 8; }
+  section instruction_set {
+    field A {
+      operation anop() { encode { inst[15:14] = 2'd0; } }
+      operation big(i: U8) { encode { inst[15:14] = 2'd1; inst[11:4] = i; } }
+    }
+    field B {
+      operation bnop() { encode { inst[1:0] = 2'd0; } }
+      operation also(i: U8) { encode { inst[1:0] = 2'd1; inst[9:2] = i; } }
+    }
+  }
+}
+)");
+  DiagnosticEngine sigDiags;
+  SignatureTable sigs(*m, sigDiags);
+  ASSERT_TRUE(sigs.valid());
+  Assembler assembler(sigs);
+  DiagnosticEngine diags;
+  EXPECT_FALSE(assembler.assemble("{ big 5 | also 9 }\n", diags).has_value());
+  EXPECT_NE(diags.dump().find("add a constraint"), std::string::npos)
+      << diags.dump();
+  // Individually both work.
+  DiagnosticEngine diags2;
+  EXPECT_TRUE(assembler.assemble("big 5\nalso 9\n", diags2).has_value())
+      << diags2.dump();
+}
+
+}  // namespace
+}  // namespace isdl::sim

@@ -1,0 +1,161 @@
+// Tests for the XSIM command-line / batch interface (paper §3.1), including
+// attached commands and execution-trace files.
+
+#include "sim/cli.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "isdl/parser.h"
+#include "support/strings.h"
+#include "test_machines.h"
+
+namespace isdl::sim {
+namespace {
+
+class CliTest : public ::testing::Test {
+ protected:
+  CliTest()
+      : machine_(parseAndCheckIsdl(testing::kMiniIsdl)),
+        sim_(*machine_),
+        cli_(sim_, out_) {}
+
+  void loadInline(const char* asmText) {
+    Assembler assembler(sim_.signatures());
+    DiagnosticEngine diags;
+    auto prog = assembler.assemble(asmText, diags);
+    ASSERT_TRUE(prog.has_value()) << diags.dump();
+    std::string err;
+    ASSERT_TRUE(sim_.loadProgram(*prog, &err)) << err;
+  }
+
+  std::string takeOutput() {
+    std::string s = out_.str();
+    out_.str("");
+    return s;
+  }
+
+  std::unique_ptr<Machine> machine_;
+  Xsim sim_;
+  std::ostringstream out_;
+  Cli cli_;
+};
+
+TEST_F(CliTest, EchoAndComments) {
+  cli_.runScript("echo hello world\n# a comment\n; another\necho done\n");
+  EXPECT_EQ(takeOutput(), "hello world\ndone\n");
+  EXPECT_EQ(cli_.errorCount(), 0u);
+}
+
+TEST_F(CliTest, RunAndExamine) {
+  loadInline("li R1, 42\nhalt\n");
+  cli_.runScript("run\nx RF 1\nx PC\n");
+  std::string out = takeOutput();
+  EXPECT_NE(out.find("stopped: halted"), std::string::npos);
+  EXPECT_NE(out.find("RF[1] = 0x002a (42)"), std::string::npos);
+  EXPECT_NE(out.find("PC = "), std::string::npos);
+}
+
+TEST_F(CliTest, SetAndExamineAlias) {
+  loadInline("halt\n");
+  cli_.runScript("set RF 3 0x7f\nx RF 3\nset CARRY 1\nx CARRY\n");
+  std::string out = takeOutput();
+  EXPECT_NE(out.find("RF[3] = 0x007f"), std::string::npos);
+  EXPECT_NE(out.find("CC = "), std::string::npos);  // alias resolves to CC
+  EXPECT_EQ(cli_.errorCount(), 0u);
+}
+
+TEST_F(CliTest, StepAndDisasm) {
+  loadInline("li R1, 1\nli R2, 2\nadd R3, R1, R2\nhalt\n");
+  cli_.runScript("step 2\ndisasm 0 3\n");
+  std::string out = takeOutput();
+  EXPECT_NE(out.find("pc 2"), std::string::npos);
+  EXPECT_NE(out.find("0: { li R1, 1 | mnop }"), std::string::npos);
+  EXPECT_NE(out.find("2: { add R3, R1, R2 | mnop }"), std::string::npos);
+}
+
+TEST_F(CliTest, BreakpointWithAttachedCommand) {
+  loadInline("li R1, 1\nli R2, 2\nadd R3, R1, R2\nhalt\n");
+  cli_.runScript("break 2 echo hit-breakpoint\nrun\n");
+  std::string out = takeOutput();
+  // The attached command runs when the breakpoint is hit (paper: "attached
+  // commands... dispatched back to the user interface").
+  EXPECT_NE(out.find("hit-breakpoint"), std::string::npos);
+  EXPECT_NE(out.find("stopped: breakpoint"), std::string::npos);
+  cli_.runScript("delete 2\nrun\n");
+  EXPECT_NE(takeOutput().find("stopped: halted"), std::string::npos);
+}
+
+TEST_F(CliTest, MonitorPrintsChanges) {
+  loadInline("li R1, 5\nli R1, 6\nhalt\n");
+  cli_.runScript("monitor RF 1\nrun\n");
+  std::string out = takeOutput();
+  EXPECT_NE(out.find("monitor: RF[1] 0x0000 -> 0x0005"), std::string::npos);
+  EXPECT_NE(out.find("monitor: RF[1] 0x0005 -> 0x0006"), std::string::npos);
+}
+
+TEST_F(CliTest, TraceToFile) {
+  loadInline("li R1, 1\njmp 3\nnop\nhalt\n");
+  const char* path = "cli_trace_test.tmp";
+  cli_.runScript(cat("trace ", path, "\nrun\ntrace off\n"));
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  in.close();
+  std::remove(path);
+  ASSERT_EQ(lines.size(), 3u);
+  EXPECT_EQ(lines[0], "0");
+  EXPECT_EQ(lines[1], "1");
+  EXPECT_EQ(lines[2], "3");
+}
+
+TEST_F(CliTest, StatsReport) {
+  loadInline("li R1, 1\nadd R2, R1, R1\nhalt\n");
+  cli_.runScript("run\nstats\n");
+  std::string out = takeOutput();
+  EXPECT_NE(out.find("cycles 3 instructions 3"), std::string::npos);
+  EXPECT_NE(out.find("field EX utilization 3/3"), std::string::npos);
+  EXPECT_NE(out.find("add 1"), std::string::npos);
+}
+
+TEST_F(CliTest, ResetRestoresInitialState) {
+  loadInline("li R1, 9\nhalt\n");
+  cli_.runScript("run\nreset\nx RF 1\n");
+  EXPECT_NE(takeOutput().find("RF[1] = 0x0000"), std::string::npos);
+}
+
+TEST_F(CliTest, ErrorsAreCountedAndReported) {
+  loadInline("halt\n");
+  cli_.runScript("bogus\nx NOPE\nset RF\n");
+  EXPECT_EQ(cli_.errorCount(), 3u);
+  std::string out = takeOutput();
+  EXPECT_NE(out.find("unknown command"), std::string::npos);
+  EXPECT_NE(out.find("unknown storage"), std::string::npos);
+}
+
+TEST_F(CliTest, QuitStopsScript) {
+  loadInline("halt\n");
+  cli_.runScript("echo one\nquit\necho two\n");
+  EXPECT_EQ(takeOutput(), "one\n");
+}
+
+TEST_F(CliTest, AsmFromFile) {
+  const char* path = "cli_asm_test.tmp";
+  {
+    std::ofstream f(path);
+    f << "li R1, 7\nhalt\n";
+  }
+  cli_.runScript(cat("asm ", path, "\nrun\nx RF 1\n"));
+  std::remove(path);
+  std::string out = takeOutput();
+  EXPECT_NE(out.find("loaded 2 words"), std::string::npos);
+  EXPECT_NE(out.find("RF[1] = 0x0007"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace isdl::sim

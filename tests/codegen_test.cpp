@@ -1,0 +1,174 @@
+// Tests for the compiled-code simulator generator (§6.2 future work): the
+// generated C++ is compiled with the host compiler and executed; its final
+// state must match the interpreted XSIM run bit for bit, and its cycle
+// counter must satisfy the stall identity.
+
+#include "sim/codegen.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "archs/archs.h"
+#include "isdl/parser.h"
+#include "support/strings.h"
+#include "sim/xsim.h"
+
+namespace isdl::sim {
+namespace {
+
+/// Compiles and runs generated simulator source; returns stdout (empty on
+/// failure). Skips gracefully when no host compiler is available.
+std::string compileAndRun(const std::string& source, bool* available) {
+  *available = std::system("c++ --version > /dev/null 2>&1") == 0;
+  if (!*available) return {};
+  const char* srcPath = "codegen_test_sim.cpp";
+  const char* binPath = "./codegen_test_sim.bin";
+  {
+    std::ofstream f(srcPath);
+    f << source;
+  }
+  std::string cmd = cat("c++ -O1 -std=c++17 -o ", binPath, " ", srcPath,
+                        " 2> codegen_test_err.txt");
+  if (std::system(cmd.c_str()) != 0) {
+    std::ifstream err("codegen_test_err.txt");
+    std::stringstream ss;
+    ss << err.rdbuf();
+    ADD_FAILURE() << "generated simulator failed to compile:\n" << ss.str();
+    return {};
+  }
+  std::string outPath = "codegen_test_out.txt";
+  if (std::system(cat(binPath, " > ", outPath).c_str()) != 0) {
+    ADD_FAILURE() << "generated simulator exited with an error";
+    return {};
+  }
+  std::ifstream out(outPath);
+  std::stringstream ss;
+  ss << out.rdbuf();
+  std::remove(srcPath);
+  std::remove(binPath);
+  std::remove(outPath.c_str());
+  std::remove("codegen_test_err.txt");
+  return ss.str();
+}
+
+struct ParsedOutput {
+  std::uint64_t cycles = 0, instructions = 0;
+  /// (storage name, element) -> value
+  std::map<std::pair<std::string, std::uint64_t>, std::uint64_t> state;
+};
+
+ParsedOutput parseOutput(const std::string& text) {
+  ParsedOutput p;
+  std::istringstream is(text);
+  std::string word;
+  while (is >> word) {
+    if (word == "cycles") {
+      is >> p.cycles;
+    } else if (word == "instructions") {
+      is >> p.instructions;
+    } else if (word == "seconds") {
+      double ignore;
+      is >> ignore;
+    } else {
+      std::uint64_t element, value;
+      is >> element >> std::hex >> value >> std::dec;
+      p.state[{word, element}] = value;
+    }
+  }
+  return p;
+}
+
+void checkBenchmark(std::unique_ptr<Machine> (*loader)(),
+                    const archs::Benchmark& bench) {
+  SCOPED_TRACE(bench.name);
+  auto m = loader();
+  Xsim xsim(*m);
+  Assembler assembler(xsim.signatures());
+  DiagnosticEngine diags;
+  auto prog = assembler.assemble(bench.source, diags);
+  ASSERT_TRUE(prog.has_value()) << diags.dump();
+
+  // Interpreted reference.
+  std::string err;
+  ASSERT_TRUE(xsim.loadProgram(*prog, &err)) << err;
+  ASSERT_EQ(xsim.run(bench.maxCycles).reason, StopReason::Halted);
+  xsim.drainPipeline();
+
+  // Generated compiled-code simulator.
+  std::string source = generateCompiledSim(*m, xsim.signatures(), *prog);
+  bool available = false;
+  std::string output = compileAndRun(source, &available);
+  if (!available) GTEST_SKIP() << "no host C++ compiler";
+  ASSERT_FALSE(output.empty());
+  ParsedOutput parsed = parseOutput(output);
+
+  EXPECT_EQ(parsed.instructions, xsim.stats().instructions);
+  EXPECT_EQ(xsim.stats().cycles,
+            parsed.cycles + xsim.stats().dataStallCycles +
+                xsim.stats().structStallCycles);
+
+  // Every non-zero architectural value must match (generated output prints
+  // only non-zero locations).
+  for (std::size_t si = 0; si < m->storages.size(); ++si) {
+    if (static_cast<int>(si) == m->imemIndex) continue;
+    const StorageDef& st = m->storages[si];
+    for (std::uint64_t e = 0; e < st.depth; ++e) {
+      std::uint64_t expected =
+          xsim.state().read(static_cast<unsigned>(si), e).toUint64();
+      auto it = parsed.state.find({st.name, e});
+      std::uint64_t got = it == parsed.state.end() ? 0 : it->second;
+      EXPECT_EQ(got, expected) << st.name << "[" << e << "]";
+    }
+  }
+}
+
+TEST(Codegen, SrepFibMatchesInterpreter) {
+  checkBenchmark(archs::loadSrep, archs::srepBenchmarks()[0]);
+}
+
+TEST(Codegen, SrepDotMatchesInterpreter) {
+  checkBenchmark(archs::loadSrep, archs::srepBenchmarks()[1]);
+}
+
+TEST(Codegen, Spam2DotMatchesInterpreter) {
+  checkBenchmark(archs::loadSpam2, archs::spam2Benchmarks()[0]);
+}
+
+TEST(Codegen, TdspFirMatchesInterpreter) {
+  // Exercises non-terminal value inlining, lvalue options and option side
+  // effects in generated code.
+  checkBenchmark(archs::loadTdsp, archs::tdspBenchmarks()[0]);
+}
+
+TEST(Codegen, SpamFloatDotMatchesInterpreter) {
+  // 128-bit instruction words are fine: compiled execution never touches
+  // the instruction memory.
+  checkBenchmark(archs::loadSpam, archs::spamBenchmarks()[0]);
+}
+
+TEST(Codegen, RejectsWideArchitecturalState) {
+  auto m = isdl::parseAndCheckIsdl(R"(
+machine W {
+  section format { word_width = 8; }
+  section storage {
+    instruction_memory IM width 8 depth 4;
+    program_counter PC width 4;
+    register BIG width 100;
+  }
+  section instruction_set { field F { operation nop() { encode { inst[7] = 0; } } } }
+}
+)");
+  DiagnosticEngine diags;
+  SignatureTable sigs(*m, diags);
+  AssembledProgram prog;
+  prog.words.push_back(BitVector(8, 0));
+  EXPECT_THROW(generateCompiledSim(*m, sigs, prog), IsdlError);
+}
+
+}  // namespace
+}  // namespace isdl::sim

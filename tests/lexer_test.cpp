@@ -1,0 +1,114 @@
+#include "isdl/lexer.h"
+
+#include <gtest/gtest.h>
+
+namespace isdl {
+namespace {
+
+std::vector<Token> lexOk(std::string_view src) {
+  DiagnosticEngine diags;
+  auto toks = lex(src, diags);
+  EXPECT_FALSE(diags.hasErrors()) << diags.dump();
+  return toks;
+}
+
+TEST(Lexer, EmptyInput) {
+  auto toks = lexOk("");
+  ASSERT_EQ(toks.size(), 1u);
+  EXPECT_TRUE(toks[0].is(Tok::EndOfFile));
+}
+
+TEST(Lexer, IdentifiersAndPunctuation) {
+  auto toks = lexOk("machine M { section format }");
+  ASSERT_EQ(toks.size(), 7u);
+  EXPECT_TRUE(toks[0].isIdent("machine"));
+  EXPECT_TRUE(toks[1].isIdent("M"));
+  EXPECT_TRUE(toks[2].is(Tok::LBrace));
+  EXPECT_TRUE(toks[3].isIdent("section"));
+  EXPECT_TRUE(toks[5].is(Tok::RBrace));
+}
+
+TEST(Lexer, Comments) {
+  auto toks = lexOk("a // line comment\nb # hash comment\nc /* block\n */ d");
+  ASSERT_EQ(toks.size(), 5u);
+  EXPECT_TRUE(toks[0].isIdent("a"));
+  EXPECT_TRUE(toks[1].isIdent("b"));
+  EXPECT_TRUE(toks[2].isIdent("c"));
+  EXPECT_TRUE(toks[3].isIdent("d"));
+}
+
+TEST(Lexer, UnterminatedBlockComment) {
+  DiagnosticEngine diags;
+  lex("a /* never ends", diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Lexer, IntegerForms) {
+  auto toks = lexOk("42 0x2A 0b101010 1_000");
+  EXPECT_EQ(toks[0].intValue, 42u);
+  EXPECT_EQ(toks[1].intValue, 42u);
+  EXPECT_EQ(toks[2].intValue, 42u);
+  EXPECT_EQ(toks[3].intValue, 1000u);
+}
+
+TEST(Lexer, SizedIntegers) {
+  auto toks = lexOk("8'd255 4'b1010 16'hBEEF 12'hABC");
+  ASSERT_TRUE(toks[0].is(Tok::SizedInt));
+  EXPECT_EQ(toks[0].sizedValue.width(), 8u);
+  EXPECT_EQ(toks[0].sizedValue.toUint64(), 255u);
+  EXPECT_EQ(toks[1].sizedValue.width(), 4u);
+  EXPECT_EQ(toks[1].sizedValue.toUint64(), 10u);
+  EXPECT_EQ(toks[2].sizedValue.toUint64(), 0xBEEFu);
+  EXPECT_EQ(toks[3].sizedValue.width(), 12u);
+}
+
+TEST(Lexer, SizedIntegerBadBase) {
+  DiagnosticEngine diags;
+  lex("8'q12", diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Lexer, MultiCharOperators) {
+  auto toks = lexOk("<- << >> >>> == != <= >= && || .. $$ < > = ! & |");
+  Tok expected[] = {Tok::Arrow, Tok::Shl, Tok::Shr, Tok::AShr, Tok::EqEq,
+                    Tok::BangEq, Tok::Le, Tok::Ge, Tok::AmpAmp, Tok::PipePipe,
+                    Tok::DotDot, Tok::Dollar2, Tok::Lt, Tok::Gt, Tok::Assign,
+                    Tok::Bang, Tok::Amp, Tok::Pipe};
+  ASSERT_EQ(toks.size(), std::size(expected) + 1);
+  for (std::size_t i = 0; i < std::size(expected); ++i)
+    EXPECT_TRUE(toks[i].is(expected[i])) << "token " << i;
+}
+
+TEST(Lexer, StringsWithEscapes) {
+  auto toks = lexOk(R"("hello" "a\"b" "tab\tend")");
+  EXPECT_EQ(toks[0].text, "hello");
+  EXPECT_EQ(toks[1].text, "a\"b");
+  EXPECT_EQ(toks[2].text, "tab\tend");
+}
+
+TEST(Lexer, UnterminatedString) {
+  DiagnosticEngine diags;
+  lex("\"never ends", diags);
+  EXPECT_TRUE(diags.hasErrors());
+}
+
+TEST(Lexer, SourceLocations) {
+  auto toks = lexOk("a\n  b");
+  EXPECT_EQ(toks[0].loc.line, 1u);
+  EXPECT_EQ(toks[0].loc.col, 1u);
+  EXPECT_EQ(toks[1].loc.line, 2u);
+  EXPECT_EQ(toks[1].loc.col, 3u);
+}
+
+TEST(Lexer, UnexpectedCharacterRecovers) {
+  DiagnosticEngine diags;
+  auto toks = lex("a @ b", diags);
+  EXPECT_TRUE(diags.hasErrors());
+  // Both identifiers still arrive.
+  ASSERT_GE(toks.size(), 3u);
+  EXPECT_TRUE(toks[0].isIdent("a"));
+  EXPECT_TRUE(toks[1].isIdent("b"));
+}
+
+}  // namespace
+}  // namespace isdl

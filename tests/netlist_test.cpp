@@ -1,0 +1,211 @@
+// Unit tests for the word-level netlist IR: builders, topological ordering,
+// cycle detection, common-subexpression elimination, dead-node sweeping, and
+// the gate simulator's sequential semantics on hand-built circuits.
+
+#include "hw/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "synth/gatesim.h"
+
+namespace isdl::hw {
+namespace {
+
+using rtl::BinOp;
+using rtl::UnOp;
+
+TEST(Netlist, BuilderWidths) {
+  Netlist nl;
+  NetId a = nl.addInput("a", 8);
+  NetId b = nl.addInput("b", 8);
+  EXPECT_EQ(nl.widthOf(nl.addBinary(BinOp::Add, a, b)), 8u);
+  EXPECT_EQ(nl.widthOf(nl.addBinary(BinOp::ULt, a, b)), 1u);
+  EXPECT_EQ(nl.widthOf(nl.addUnary(UnOp::RedOr, a)), 1u);
+  EXPECT_EQ(nl.widthOf(nl.addUnary(UnOp::BitNot, a)), 8u);
+  EXPECT_EQ(nl.widthOf(nl.addSlice(a, 3, 1)), 3u);
+  EXPECT_EQ(nl.widthOf(nl.addConcat({a, b})), 16u);
+  EXPECT_EQ(nl.widthOf(nl.addExt(NodeKind::ZExt, a, 20)), 20u);
+}
+
+TEST(Netlist, ControlHelpersFoldConstants) {
+  Netlist nl;
+  NetId x = nl.addInput("x", 1);
+  EXPECT_EQ(nl.andNet(nl.one(), x), x);
+  EXPECT_EQ(nl.andNet(x, nl.zero()), nl.zero());
+  EXPECT_EQ(nl.orNet(nl.zero(), x), x);
+  EXPECT_EQ(nl.orNet(x, nl.one()), nl.one());
+  EXPECT_EQ(nl.notNet(nl.one()), nl.zero());
+  // Mux with equal branches folds away.
+  EXPECT_EQ(nl.addMux(x, x, x), x);
+}
+
+TEST(Netlist, WithSliceComposesCorrectly) {
+  Netlist nl;
+  NetId base = nl.addConst(BitVector(16, 0x0000));
+  NetId part = nl.addConst(BitVector(8, 0xAB));
+  NetId out = nl.withSlice(base, 11, 4, part);
+  nl.addOutput("o", out);
+  synth::GateSim gs(nl);
+  gs.step();
+  EXPECT_EQ(gs.peekNet(out).toUint64(), 0x0AB0u);
+  EXPECT_EQ(gs.peekNet(out).width(), 16u);
+}
+
+TEST(Netlist, TopoOrderRespectsDependencies) {
+  Netlist nl;
+  NetId a = nl.addInput("a", 4);
+  NetId b = nl.addBinary(BinOp::Add, a, a);
+  NetId c = nl.addBinary(BinOp::Xor, b, a);
+  auto order = nl.topoOrder();
+  auto pos = [&](NetId id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(a), pos(b));
+  EXPECT_LT(pos(b), pos(c));
+}
+
+TEST(Netlist, CombinationalCycleIsRejected) {
+  Netlist nl;
+  NetId a = nl.addInput("a", 4);
+  NetId add = nl.addBinary(BinOp::Add, a, a);
+  // Forge a cycle: add reads itself.
+  nl.nodes[add].ins[1] = add;
+  EXPECT_THROW(nl.topoOrder(), IsdlError);
+}
+
+TEST(Netlist, RegistersBreakCycles) {
+  // reg -> +1 -> reg is fine (the canonical counter).
+  Netlist nl;
+  NetId reg = nl.addReg("ctr", 8);
+  NetId one = nl.addConst(BitVector(8, 1));
+  NetId next = nl.addBinary(BinOp::Add, reg, one);
+  nl.setRegInputs(reg, next);
+  EXPECT_NO_THROW(nl.topoOrder());
+
+  synth::GateSim gs(nl);
+  gs.step();
+  gs.step();
+  gs.step();
+  EXPECT_EQ(gs.peekNet(reg).toUint64(), 3u);
+}
+
+TEST(Netlist, RegisterEnableGates) {
+  Netlist nl;
+  NetId en = nl.addInput("en", 1);
+  NetId reg = nl.addReg("r", 8);
+  NetId one = nl.addConst(BitVector(8, 1));
+  NetId next = nl.addBinary(BinOp::Add, reg, one);
+  nl.setRegInputs(reg, next, en);
+  synth::GateSim gs(nl);
+  gs.setInput(en, BitVector(1, 0));
+  gs.step();
+  EXPECT_EQ(gs.peekNet(reg).toUint64(), 0u);
+  gs.setInput(en, BitVector(1, 1));
+  gs.step();
+  gs.step();
+  EXPECT_EQ(gs.peekNet(reg).toUint64(), 2u);
+}
+
+TEST(Netlist, MemoryWritePortPriorityIsPortOrder) {
+  Netlist nl;
+  int mem = nl.addMemory("m", 8, 16);
+  NetId addr = nl.addConst(BitVector(4, 5));
+  NetId v1 = nl.addConst(BitVector(8, 11));
+  NetId v2 = nl.addConst(BitVector(8, 22));
+  nl.addMemWrite(mem, nl.one(), addr, v1);
+  nl.addMemWrite(mem, nl.one(), addr, v2);  // later port wins
+  synth::GateSim gs(nl);
+  gs.step();
+  EXPECT_EQ(gs.peekMemory(mem, 5).toUint64(), 22u);
+}
+
+TEST(Netlist, GateSimTwoPhaseRegisterSwap) {
+  // r1 <- r2; r2 <- r1 every clock: values swap, never merge.
+  Netlist nl;
+  NetId r1 = nl.addReg("r1", 8);
+  NetId r2 = nl.addReg("r2", 8);
+  nl.setRegInputs(r1, r2);
+  nl.setRegInputs(r2, r1);
+  synth::GateSim gs(nl);
+  gs.pokeReg(r1, BitVector(8, 1));
+  gs.pokeReg(r2, BitVector(8, 2));
+  gs.step();
+  EXPECT_EQ(gs.peekNet(r1).toUint64(), 2u);
+  EXPECT_EQ(gs.peekNet(r2).toUint64(), 1u);
+  gs.step();
+  EXPECT_EQ(gs.peekNet(r1).toUint64(), 1u);
+  EXPECT_EQ(gs.peekNet(r2).toUint64(), 2u);
+}
+
+TEST(Netlist, CseMergesStructuralDuplicates) {
+  Netlist nl;
+  NetId a = nl.addInput("a", 8);
+  NetId b = nl.addInput("b", 8);
+  NetId s1 = nl.addBinary(BinOp::Add, a, b);
+  NetId s2 = nl.addBinary(BinOp::Add, a, b);  // duplicate
+  NetId d = nl.addBinary(BinOp::Xor, s1, s2);
+  nl.addOutput("o", d);
+  std::size_t before = nl.nodes.size();
+  auto remap = nl.cse();
+  EXPECT_LT(nl.nodes.size(), before);
+  // Both adders map to the same surviving net.
+  EXPECT_EQ(remap[s1], remap[s2]);
+  EXPECT_NE(remap[d], kNoNet);
+  // Behaviour: a ^ a == 0 after merging — the xor of two identical nets.
+  synth::GateSim gs(nl);
+  gs.setInput(remap[a], BitVector(8, 3));
+  gs.setInput(remap[b], BitVector(8, 4));
+  gs.step();
+  EXPECT_TRUE(gs.peekNet(nl.outputs[0].net).isZero());
+}
+
+TEST(Netlist, CseDistinguishesConstantsAndPayloads) {
+  Netlist nl;
+  NetId c1 = nl.addConst(BitVector(8, 1));
+  NetId c2 = nl.addConst(BitVector(8, 2));
+  NetId c1b = nl.addConst(BitVector(8, 1));
+  NetId a = nl.addInput("a", 8);
+  NetId s1 = nl.addSlice(a, 3, 0);
+  NetId s2 = nl.addSlice(a, 4, 1);  // same width, different bounds
+  nl.addOutput("x", nl.addConcat({c1, c2, c1b, s1, s2}));
+  auto remap = nl.cse();
+  EXPECT_EQ(remap[c1], remap[c1b]);
+  EXPECT_NE(remap[c1], remap[c2]);
+  EXPECT_NE(remap[s1], remap[s2]);
+}
+
+TEST(Netlist, SweepDeadRemovesUnreachable) {
+  Netlist nl;
+  NetId a = nl.addInput("a", 8);
+  NetId used = nl.addUnary(UnOp::BitNot, a);
+  NetId dead = nl.addBinary(BinOp::Add, a, a);
+  (void)dead;
+  nl.addOutput("o", used);
+  auto remap = nl.sweepDead();
+  EXPECT_EQ(remap[dead], kNoNet);
+  EXPECT_NE(remap[used], kNoNet);
+  EXPECT_EQ(nl.nodes.size(), 2u);  // input + not
+  // Registers are always roots, even when nothing reads them.
+  Netlist nl2;
+  NetId r = nl2.addReg("r", 4);
+  nl2.setRegInputs(r, nl2.addConst(BitVector(4, 1)));
+  auto remap2 = nl2.sweepDead();
+  EXPECT_NE(remap2[r], kNoNet);
+  EXPECT_EQ(nl2.nodes.size(), 2u);
+}
+
+TEST(Netlist, ToggleCountingTracksActivity) {
+  Netlist nl;
+  NetId reg = nl.addReg("ctr", 8);
+  NetId one = nl.addConst(BitVector(8, 1));
+  nl.setRegInputs(reg, nl.addBinary(BinOp::Add, reg, one));
+  synth::GateSim gs(nl);
+  gs.enableToggleCounting(true);
+  gs.step();
+  std::uint64_t t1 = gs.toggleCount();
+  gs.step();
+  EXPECT_GT(gs.toggleCount(), t1);
+}
+
+}  // namespace
+}  // namespace isdl::hw

@@ -1,0 +1,209 @@
+// Tests for operation signatures (paper Figure 3) and the decodability
+// validation that underpins the Figure-4 disassembly algorithm.
+
+#include "sim/signature.h"
+
+#include <gtest/gtest.h>
+
+#include "isdl/parser.h"
+#include "isdl/sema.h"
+#include "test_machines.h"
+
+namespace isdl::sim {
+namespace {
+
+std::unique_ptr<Machine> mini() {
+  auto m = parseAndCheckIsdl(testing::kMiniIsdl);
+  return m;
+}
+
+TEST(Signature, ConstantAndParamBits) {
+  auto m = mini();
+  DiagnosticEngine diags;
+  SignatureTable table(*m, diags);
+  ASSERT_TRUE(table.valid()) << diags.dump();
+
+  // EX.add: inst[31:27]=1, d=[26:24], a=[23:21], b=[20:18].
+  const Signature& add = table.operation(0, 1);
+  EXPECT_EQ(add.widthBits(), 32u);
+  for (unsigned b = 27; b <= 31; ++b) EXPECT_TRUE(add.careMask().bit(b));
+  EXPECT_TRUE(add.constBits().bit(27));
+  EXPECT_FALSE(add.constBits().bit(28));
+  for (unsigned b = 18; b <= 26; ++b) {
+    EXPECT_FALSE(add.careMask().bit(b));
+    EXPECT_TRUE(add.paramMask().bit(b));
+  }
+  EXPECT_FALSE(add.careMask().bit(0));
+  EXPECT_FALSE(add.paramMask().bit(0));
+}
+
+TEST(Signature, ToStringRendersFigure3Style) {
+  auto m = mini();
+  DiagnosticEngine diags;
+  SignatureTable table(*m, diags);
+  const Signature& add = table.operation(0, 1);
+  std::string s = add.toString();
+  ASSERT_EQ(s.size(), 32u);
+  EXPECT_EQ(s.substr(0, 5), "00001");   // opcode
+  EXPECT_EQ(s.substr(5, 3), "aaa");     // d
+  EXPECT_EQ(s.substr(8, 3), "bbb");     // a
+  EXPECT_EQ(s.substr(11, 3), "ccc");    // b
+  EXPECT_EQ(s.substr(14), std::string(18, 'x'));  // don't cares
+}
+
+TEST(Signature, AssembleExtractRoundTrip) {
+  auto m = mini();
+  DiagnosticEngine diags;
+  SignatureTable table(*m, diags);
+  const Signature& add = table.operation(0, 1);
+
+  std::vector<BitVector> params = {BitVector(3, 5), BitVector(3, 2),
+                                   BitVector(3, 7)};
+  BitVector word(32);
+  add.assemble(word, params);
+  EXPECT_TRUE(add.matches(word));
+  EXPECT_EQ(add.extractParam(0, word), params[0]);
+  EXPECT_EQ(add.extractParam(1, word), params[1]);
+  EXPECT_EQ(add.extractParam(2, word), params[2]);
+  // Other operations must not match (decodability).
+  EXPECT_FALSE(table.operation(0, 0).matches(word));  // nop
+  EXPECT_FALSE(table.operation(0, 3).matches(word));  // sub
+}
+
+TEST(Signature, SplitParamEncoding) {
+  // A parameter scattered across two disjoint bit ranges must reassemble.
+  auto m = parseAndCheckIsdl(R"(
+machine M {
+  section format { word_width = 16; }
+  section storage {
+    instruction_memory IM width 16 depth 4;
+    program_counter PC width 4;
+  }
+  section global_definitions { token U8 immediate unsigned width 8; }
+  section instruction_set {
+    field F {
+      operation op(i: U8) {
+        encode { inst[15:14] = 2'd1; inst[13:10] = i[7:4]; inst[3:0] = i[3:0]; }
+      }
+    }
+  }
+}
+)");
+  DiagnosticEngine diags;
+  SignatureTable table(*m, diags);
+  ASSERT_TRUE(table.valid());
+  const Signature& sig = table.operation(0, 0);
+  std::vector<BitVector> params = {BitVector(8, 0xA5)};
+  BitVector word(16);
+  sig.assemble(word, params);
+  EXPECT_EQ(word.slice(13, 10).toUint64(), 0xAu);
+  EXPECT_EQ(word.slice(3, 0).toUint64(), 0x5u);
+  EXPECT_EQ(sig.extractParam(0, word).toUint64(), 0xA5u);
+}
+
+TEST(Signature, UndistinguishableOpsRejected) {
+  DiagnosticEngine parseDiags;
+  auto m = parseIsdl(R"(
+machine M {
+  section format { word_width = 8; }
+  section storage {
+    instruction_memory IM width 8 depth 4;
+    program_counter PC width 4;
+  }
+  section global_definitions { token U4 immediate unsigned width 4; }
+  section instruction_set {
+    field F {
+      operation a(i: U4) { encode { inst[7] = 1; inst[3:0] = i; } }
+      operation b(i: U4) { encode { inst[7] = 1; inst[4:1] = i; } }
+    }
+  }
+}
+)",
+                     parseDiags);
+  ASSERT_NE(m, nullptr) << parseDiags.dump();
+  checkMachine(*m, parseDiags);
+  DiagnosticEngine diags;
+  SignatureTable table(*m, diags);
+  EXPECT_FALSE(table.valid());
+  EXPECT_NE(diags.dump().find("not distinguishable"), std::string::npos)
+      << diags.dump();
+}
+
+TEST(Signature, NonTerminalOptionSignatures) {
+  auto m = mini();
+  DiagnosticEngine diags;
+  SignatureTable table(*m, diags);
+  // SRC option reg: $$[8]=0, $$[7:3]=0, $$[2:0]=r.
+  const Signature& reg = table.ntOption(0, 0);
+  EXPECT_EQ(reg.widthBits(), 9u);
+  EXPECT_TRUE(reg.careMask().bit(8));
+  EXPECT_FALSE(reg.constBits().bit(8));
+  // imm: $$[8]=1, $$[7:0]=i.
+  const Signature& imm = table.ntOption(0, 1);
+  EXPECT_TRUE(imm.constBits().bit(8));
+  EXPECT_TRUE(distinguishable(reg, imm));
+
+  BitVector v(9);
+  imm.assemble(v, {BitVector(8, 0x5A)});
+  EXPECT_TRUE(v.bit(8));
+  EXPECT_FALSE(reg.matches(v));
+  EXPECT_TRUE(imm.matches(v));
+  EXPECT_EQ(imm.extractParam(0, v).toUint64(), 0x5Au);
+}
+
+TEST(Signature, MatchesIgnoresWiderWordTail) {
+  auto m = mini();
+  DiagnosticEngine diags;
+  SignatureTable table(*m, diags);
+  const Signature& add = table.operation(0, 1);
+  BitVector wide(64);
+  add.assemble(wide, {BitVector(3, 1), BitVector(3, 2), BitVector(3, 3)});
+  wide.setBit(63, true);  // junk beyond the signature's width
+  EXPECT_TRUE(add.matches(wide));
+}
+
+// Property: every operation of MINI assembles and round-trips its parameters
+// for a sweep of parameter values.
+class SignatureRoundTrip
+    : public ::testing::TestWithParam<std::pair<unsigned, unsigned>> {};
+
+TEST_P(SignatureRoundTrip, AllParamsRecoverable) {
+  auto m = mini();
+  DiagnosticEngine diags;
+  SignatureTable table(*m, diags);
+  auto [f, o] = GetParam();
+  const Operation& op = m->fields[f].operations[o];
+  const Signature& sig = table.operation(f, o);
+
+  for (unsigned seed = 0; seed < 16; ++seed) {
+    std::vector<BitVector> params;
+    for (const auto& p : op.params) {
+      unsigned w = m->paramEncodingWidth(p);
+      std::uint64_t v = (seed * 2654435761u) & ((1ull << std::min(w, 63u)) - 1);
+      if (p.kind == ParamKind::Token &&
+          m->tokens[p.index].kind == TokenKind::Enum)
+        v %= m->tokens[p.index].members.size();
+      if (p.kind == ParamKind::NonTerminal) {
+        // Use the imm option of SRC: bit 8 set, payload in [7:0].
+        v = (1u << 8) | (v & 0xFF);
+      }
+      params.emplace_back(w, v);
+    }
+    BitVector word(sig.widthBits());
+    sig.assemble(word, params);
+    ASSERT_TRUE(sig.matches(word));
+    for (std::size_t p = 0; p < params.size(); ++p)
+      EXPECT_EQ(sig.extractParam(static_cast<unsigned>(p), word), params[p]);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MiniOps, SignatureRoundTrip,
+    ::testing::Values(std::pair{0u, 0u}, std::pair{0u, 1u}, std::pair{0u, 2u},
+                      std::pair{0u, 3u}, std::pair{0u, 4u}, std::pair{0u, 5u},
+                      std::pair{0u, 6u}, std::pair{0u, 7u}, std::pair{0u, 8u},
+                      std::pair{0u, 9u}, std::pair{1u, 0u}, std::pair{1u, 1u},
+                      std::pair{1u, 2u}));
+
+}  // namespace
+}  // namespace isdl::sim

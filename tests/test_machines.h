@@ -1,0 +1,128 @@
+// Shared ISDL sources used across the test suite. MINI is a small two-field
+// VLIW that exercises every language feature: enum and immediate tokens, a
+// non-terminal with register and immediate options, aliases, all storage
+// kinds the simulator cares about, side effects, costs/timing and a
+// constraint.
+
+#ifndef ISDL_TESTS_TEST_MACHINES_H
+#define ISDL_TESTS_TEST_MACHINES_H
+
+namespace isdl::testing {
+
+inline constexpr const char* kMiniIsdl = R"ISDL(
+machine MINI {
+  section format { word_width = 32; }
+
+  section storage {
+    instruction_memory IM width 32 depth 256;
+    data_memory DM width 16 depth 256;
+    register_file RF width 16 depth 8;
+    program_counter PC width 16;
+    control_register CC width 2;
+    alias CARRY = CC[0:0];
+    alias SP = RF[7];
+  }
+
+  section global_definitions {
+    token REG enum width 3 prefix "R" range 0 .. 7;
+    token U8 immediate unsigned width 8;
+    token S8 immediate signed width 8;
+
+    nonterminal SRC returns width 9 {
+      option reg(r: REG) {
+        syntax r;
+        encode { $$[8] = 0; $$[7:3] = 5'd0; $$[2:0] = r; }
+        value { RF[r] }
+      }
+      option imm(i: U8) {
+        syntax "#" i;
+        encode { $$[8] = 1; $$[7:0] = i; }
+        value { zext(i, 16) }
+      }
+    }
+  }
+
+  section instruction_set {
+    field EX {
+      operation nop() {
+        encode { inst[31:27] = 5'd0; }
+      }
+      operation add(d: REG, a: REG, b: REG) {
+        encode { inst[31:27] = 5'd1; inst[26:24] = d; inst[23:21] = a;
+                 inst[20:18] = b; }
+        action { RF[d] <- RF[a] + RF[b]; }
+        side_effect { CARRY <- carry(RF[a], RF[b]); }
+      }
+      operation addi(d: REG, s: SRC) {
+        encode { inst[31:27] = 5'd2; inst[26:24] = d; inst[23:15] = s; }
+        action { RF[d] <- RF[d] + s; }
+      }
+      operation sub(d: REG, a: REG, b: REG) {
+        encode { inst[31:27] = 5'd3; inst[26:24] = d; inst[23:21] = a;
+                 inst[20:18] = b; }
+        action { RF[d] <- RF[a] - RF[b]; }
+      }
+      operation ld(d: REG, a: REG) {
+        encode { inst[31:27] = 5'd4; inst[26:24] = d; inst[23:21] = a; }
+        action { RF[d] <- DM[RF[a][7:0]]; }
+        costs { cycle = 1; stall = 1; }
+        timing { latency = 2; }
+      }
+      operation st(a: REG, v: REG) {
+        encode { inst[31:27] = 5'd5; inst[26:24] = a; inst[23:21] = v; }
+        action { DM[RF[a][7:0]] <- RF[v]; }
+      }
+      operation li(d: REG, i: S8) {
+        encode { inst[31:27] = 5'd6; inst[26:24] = d; inst[23:16] = i; }
+        action { RF[d] <- sext(i, 16); }
+      }
+      operation beq(a: REG, b: REG, t: U8) {
+        encode { inst[31:27] = 5'd7; inst[26:24] = a; inst[23:21] = b;
+                 inst[20:13] = t; }
+        action { if (RF[a] == RF[b]) { PC <- zext(t, 16); } }
+        costs { cycle = 2; }
+      }
+      operation jmp(t: U8) {
+        encode { inst[31:27] = 5'd8; inst[26:19] = t; }
+        action { PC <- zext(t, 16); }
+        costs { cycle = 2; }
+      }
+      operation halt() {
+        encode { inst[31:27] = 5'd31; }
+      }
+    }
+    field MV {
+      operation mnop() {
+        encode { inst[8:6] = 3'd0; }
+      }
+      operation mv(d: REG, a: REG) {
+        encode { inst[8:6] = 3'd1; inst[5:3] = d; inst[2:0] = a; }
+        action { RF[d] <- RF[a]; }
+      }
+      operation mvi(d: REG, i: S8) {
+        encode { inst[8:6] = 3'd2; inst[5:3] = d; inst[16:9] = i; }
+        action { RF[d] <- sext(i, 16); }
+      }
+    }
+  }
+
+  section constraints {
+    // Encoding conflicts: these pairs set overlapping instruction bits.
+    never EX.addi & MV.mvi;
+    never EX.li & MV.mvi;
+    never EX.beq & MV.mvi;
+    // Pure architectural restriction (no encoding conflict): exercises
+    // constraint checking independent of bit collisions.
+    never EX.add & MV.mvi;
+  }
+
+  section optional {
+    halt_operation = "EX.halt";
+    description = "two-field test VLIW";
+  }
+}
+)ISDL";
+
+}  // namespace isdl::testing
+
+#endif  // ISDL_TESTS_TEST_MACHINES_H

@@ -1,0 +1,464 @@
+// End-to-end tests of the XSIM simulator: two-phase VLIW semantics, latency
+// and stall behaviour, bypass forwarding, branches, breakpoints, monitors,
+// traces and statistics (paper §3).
+
+#include "sim/xsim.h"
+
+#include <gtest/gtest.h>
+
+#include "isdl/parser.h"
+#include "test_machines.h"
+
+namespace isdl::sim {
+namespace {
+
+class XsimTest : public ::testing::Test {
+ protected:
+  XsimTest() : machine_(parseAndCheckIsdl(testing::kMiniIsdl)), sim_(*machine_) {}
+
+  void load(std::string_view asmText) {
+    Assembler assembler(sim_.signatures());
+    DiagnosticEngine diags;
+    auto prog = assembler.assemble(asmText, diags);
+    ASSERT_TRUE(prog.has_value()) << diags.dump();
+    std::string err;
+    ASSERT_TRUE(sim_.loadProgram(*prog, &err)) << err;
+  }
+
+  std::uint64_t reg(unsigned i) {
+    int rf = machine_->findStorage("RF");
+    return sim_.state().read(static_cast<unsigned>(rf), i).toUint64();
+  }
+  std::uint64_t dm(unsigned i) {
+    int dmIdx = machine_->findStorage("DM");
+    return sim_.state().read(static_cast<unsigned>(dmIdx), i).toUint64();
+  }
+
+  std::unique_ptr<Machine> machine_;
+  Xsim sim_;
+};
+
+TEST_F(XsimTest, BasicArithmeticAndHalt) {
+  load(R"(
+li R1, 5
+li R2, 7
+add R3, R1, R2
+halt
+)");
+  RunResult r = sim_.run(1000);
+  EXPECT_EQ(r.reason, StopReason::Halted) << r.message;
+  sim_.drainPipeline();
+  EXPECT_EQ(reg(3), 12u);
+  EXPECT_EQ(sim_.stats().instructions, 4u);
+  EXPECT_EQ(sim_.stats().cycles, 4u);  // four single-cycle instructions
+  EXPECT_EQ(sim_.stats().dataStallCycles, 0u);
+}
+
+TEST_F(XsimTest, TwoPhaseVliwSemanticsReadBeforeWrite) {
+  // Both operations read the pre-cycle state: add sees old R1/R2, mv copies
+  // the OLD R1 into R2 even though add writes R1 in the same instruction.
+  load(R"(
+li R1, 1
+li R2, 2
+{ add R1, R1, R2 | mv R2, R1 }
+halt
+)");
+  EXPECT_EQ(sim_.run(1000).reason, StopReason::Halted);
+  sim_.drainPipeline();
+  EXPECT_EQ(reg(1), 3u);  // 1 + 2
+  EXPECT_EQ(reg(2), 1u);  // old R1
+}
+
+TEST_F(XsimTest, SideEffectsComputeFlagsFromOperands) {
+  // add's side effect sets CARRY from the pre-cycle operands (side effects
+  // read the same state as actions; their WRITES commit after action
+  // writes): carry(0xFFFF, 1) = 1.
+  load(R"(
+li R1, -1
+li R2, 1
+add R3, R1, R2
+halt
+)");
+  EXPECT_EQ(sim_.run(1000).reason, StopReason::Halted);
+  sim_.drainPipeline();
+  EXPECT_EQ(reg(3), 0u);
+  int cc = machine_->findStorage("CC");
+  EXPECT_EQ(sim_.state().read(static_cast<unsigned>(cc)).toUint64() & 1u, 1u);
+}
+
+TEST_F(XsimTest, MemoryLoadStoreAndDataInit) {
+  load(R"(
+.dm 3 77
+li R1, 3
+ld R2, R1
+nop
+li R4, 9
+st R4, R2
+halt
+)");
+  EXPECT_EQ(sim_.run(1000).reason, StopReason::Halted);
+  sim_.drainPipeline();
+  EXPECT_EQ(reg(2), 77u);
+  EXPECT_EQ(dm(9), 77u);
+}
+
+TEST_F(XsimTest, LoadUseInterlockStallsExactly) {
+  // ld: latency 2, stall 1 -> an immediately dependent add stalls 1 cycle.
+  load(R"(
+.dm 3 77
+li R1, 3
+ld R2, R1
+add R3, R2, R2
+halt
+)");
+  EXPECT_EQ(sim_.run(1000).reason, StopReason::Halted);
+  sim_.drainPipeline();
+  EXPECT_EQ(reg(3), 154u);  // stall guarantees the NEW value is read
+  EXPECT_EQ(sim_.stats().dataStallCycles, 1u);
+  // li(1) + ld(1) + stall(1) + add(1) + halt(1) = 5 cycles.
+  EXPECT_EQ(sim_.stats().cycles, 5u);
+}
+
+TEST_F(XsimTest, IndependentInstructionHidesLoadLatency) {
+  load(R"(
+.dm 3 77
+li R1, 3
+ld R2, R1
+li R5, 1
+add R3, R2, R2
+halt
+)");
+  EXPECT_EQ(sim_.run(1000).reason, StopReason::Halted);
+  sim_.drainPipeline();
+  EXPECT_EQ(reg(3), 154u);
+  EXPECT_EQ(sim_.stats().dataStallCycles, 0u);  // latency fully hidden
+}
+
+TEST_F(XsimTest, BranchLoopAndTakenBranchSemantics) {
+  load(R"(
+      li R1, 0
+      li R2, 3
+loop: addi R1, #1
+      beq R1, R2, done
+      jmp loop
+done: halt
+)");
+  RunResult r = sim_.run(10000);
+  EXPECT_EQ(r.reason, StopReason::Halted) << r.message;
+  sim_.drainPipeline();
+  EXPECT_EQ(reg(1), 3u);
+  // addi executed 3 times, beq 3 times, jmp twice.
+  const Operation* addi = machine_->fields[0].findOperation("addi");
+  (void)addi;
+  EXPECT_EQ(sim_.stats().opCount[0][2], 3u);  // addi
+  EXPECT_EQ(sim_.stats().opCount[0][7], 3u);  // beq
+  EXPECT_EQ(sim_.stats().opCount[0][8], 2u);  // jmp
+}
+
+TEST_F(XsimTest, NonTerminalRegAndImmOptionsExecute) {
+  load(R"(
+li R1, 10
+li R2, 5
+addi R1, R2
+addi R1, #200
+halt
+)");
+  EXPECT_EQ(sim_.run(1000).reason, StopReason::Halted);
+  sim_.drainPipeline();
+  EXPECT_EQ(reg(1), 215u);
+}
+
+TEST_F(XsimTest, MultiCycleOperationsAdvanceCycleCounter) {
+  load("jmp 1\nhalt\n");  // jmp: cycle = 2
+  EXPECT_EQ(sim_.run(1000).reason, StopReason::Halted);
+  EXPECT_EQ(sim_.stats().cycles, 3u);  // 2 (jmp) + 1 (halt)
+}
+
+TEST_F(XsimTest, PcOutOfRangeStops) {
+  load("jmp 100\n");
+  RunResult r = sim_.run(1000);
+  EXPECT_EQ(r.reason, StopReason::PcOutOfRange);
+}
+
+TEST_F(XsimTest, IllegalInstructionStops) {
+  // Opcode 20 in EX is unassigned: 20 << 27 = 0xA0000000.
+  load("nop\n.word 0xA0000000\n");
+  RunResult r = sim_.run(1000);
+  EXPECT_EQ(r.reason, StopReason::IllegalInstruction);
+  EXPECT_NE(r.message.find("illegal instruction"), std::string::npos);
+}
+
+TEST_F(XsimTest, BreakpointsStopBeforeExecutionAndResume) {
+  load(R"(
+li R1, 1
+li R2, 2
+add R3, R1, R2
+halt
+)");
+  sim_.addBreakpoint(2);
+  std::uint64_t hookAddr = 99;
+  sim_.setBreakpointHook([&](std::uint64_t a) { hookAddr = a; });
+  RunResult r = sim_.run(1000);
+  EXPECT_EQ(r.reason, StopReason::Breakpoint);
+  EXPECT_EQ(hookAddr, 2u);
+  EXPECT_EQ(sim_.state().pc(), 2u);
+  sim_.drainPipeline();
+  EXPECT_EQ(reg(3), 0u);  // add not yet executed
+  // Resume: the breakpointed instruction now executes.
+  r = sim_.run(1000);
+  EXPECT_EQ(r.reason, StopReason::Halted);
+  sim_.drainPipeline();
+  EXPECT_EQ(reg(3), 3u);
+}
+
+TEST_F(XsimTest, SteppingIgnoresBreakpoints) {
+  load("li R1, 1\nli R2, 2\nadd R3, R1, R2\nhalt\n");
+  sim_.addBreakpoint(1);
+  RunResult r = sim_.step(3);
+  EXPECT_EQ(r.reason, StopReason::MaxInstructions);
+  EXPECT_EQ(sim_.state().pc(), 3u);
+}
+
+TEST_F(XsimTest, ExecutionAddressTrace) {
+  load(R"(
+      li R1, 1
+      jmp skip
+      nop
+skip: halt
+)");
+  std::vector<std::uint64_t> trace;
+  sim_.setTraceCallback([&](std::uint64_t a) { trace.push_back(a); });
+  EXPECT_EQ(sim_.run(1000).reason, StopReason::Halted);
+  EXPECT_EQ(trace, (std::vector<std::uint64_t>{0, 1, 3}));
+}
+
+TEST_F(XsimTest, MonitorsFireOnChangesOnly) {
+  load("li R1, 5\nli R1, 5\nli R1, 6\nhalt\n");
+  int rf = machine_->findStorage("RF");
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> events;
+  sim_.monitors().add(static_cast<unsigned>(rf), 1u,
+                      [&](const WriteEvent& ev) {
+                        events.emplace_back(ev.oldValue.toUint64(),
+                                            ev.newValue.toUint64());
+                      });
+  EXPECT_EQ(sim_.run(1000).reason, StopReason::Halted);
+  sim_.drainPipeline();
+  // 0->5 then 5->6; the redundant write of 5 fires nothing.
+  ASSERT_EQ(events.size(), 2u);
+  EXPECT_EQ(events[0], (std::pair<std::uint64_t, std::uint64_t>{0, 5}));
+  EXPECT_EQ(events[1], (std::pair<std::uint64_t, std::uint64_t>{5, 6}));
+}
+
+TEST_F(XsimTest, MonitorElementFilter) {
+  load("li R1, 5\nli R2, 9\nhalt\n");
+  int rf = machine_->findStorage("RF");
+  int fires = 0;
+  sim_.monitors().add(static_cast<unsigned>(rf), 2u,
+                      [&](const WriteEvent&) { ++fires; });
+  EXPECT_EQ(sim_.run(1000).reason, StopReason::Halted);
+  sim_.drainPipeline();
+  EXPECT_EQ(fires, 1);
+}
+
+TEST_F(XsimTest, ResetReloadsProgramAndState) {
+  load("li R1, 5\nhalt\n");
+  EXPECT_EQ(sim_.run(1000).reason, StopReason::Halted);
+  sim_.drainPipeline();
+  EXPECT_EQ(reg(1), 5u);
+  sim_.reset();
+  EXPECT_EQ(sim_.state().pc(), 0u);
+  EXPECT_EQ(reg(1), 0u);
+  EXPECT_EQ(sim_.stats().instructions, 0u);
+  EXPECT_EQ(sim_.run(1000).reason, StopReason::Halted);
+  sim_.drainPipeline();
+  EXPECT_EQ(reg(1), 5u);
+}
+
+TEST_F(XsimTest, FieldUtilizationStatistics) {
+  load(R"(
+{ add R1, R1, R2 | mv R3, R4 }
+add R1, R1, R2
+halt
+)");
+  EXPECT_EQ(sim_.run(1000).reason, StopReason::Halted);
+  // EX used in all 3 instructions (halt counts: it is not EX's nop).
+  EXPECT_EQ(sim_.stats().fieldUtilization[0], 3u);
+  // MV used only in the first.
+  EXPECT_EQ(sim_.stats().fieldUtilization[1], 1u);
+}
+
+TEST_F(XsimTest, RunWithCycleBudgetStops) {
+  load("jmp 0\n");  // infinite loop
+  RunResult r = sim_.run(50);
+  EXPECT_EQ(r.reason, StopReason::MaxCycles);
+  EXPECT_GE(sim_.stats().cycles, 50u);
+}
+
+// --- bypass (Stall == 0, Latency > 1) vs interlock (Stall > 0) --------------
+
+TEST(XsimBypass, FullBypassForwardsWithoutStalls) {
+  // mul: latency 3, stall 0 => dependent consumer gets the value bypassed
+  // with zero stall cycles. Identical code with an interlocked producer
+  // (stall 2) pays 2 stall cycles. Same final values either way.
+  const char* archTemplate = R"(
+machine B {
+  section format { word_width = 32; }
+  section storage {
+    instruction_memory IM width 32 depth 64;
+    register_file RF width 16 depth 8;
+    program_counter PC width 16;
+  }
+  section global_definitions {
+    token REG enum width 3 prefix "R" range 0 .. 7;
+    token S8 immediate signed width 8;
+  }
+  section instruction_set {
+    field EX {
+      operation nop() { encode { inst[31:27] = 5'd0; } }
+      operation li(d: REG, i: S8) {
+        encode { inst[31:27] = 5'd6; inst[26:24] = d; inst[23:16] = i; }
+        action { RF[d] <- sext(i, 16); }
+      }
+      operation mul(d: REG, a: REG, b: REG) {
+        encode { inst[31:27] = 5'd9; inst[26:24] = d; inst[23:21] = a;
+                 inst[20:18] = b; }
+        action { RF[d] <- RF[a] * RF[b]; }
+        costs { stall = STALLVAL; }
+        timing { latency = 3; }
+      }
+      operation halt() { encode { inst[31:27] = 5'd31; } }
+    }
+  }
+  section optional { halt_operation = "EX.halt"; }
+}
+)";
+  auto runWith = [&](const char* stall, std::uint64_t* stallsOut) {
+    std::string src = archTemplate;
+    src.replace(src.find("STALLVAL"), 8, stall);
+    auto m = parseAndCheckIsdl(src);
+    Xsim sim(*m);
+    Assembler assembler(sim.signatures());
+    DiagnosticEngine diags;
+    auto prog = assembler.assemble(R"(
+li R1, 3
+li R2, 4
+mul R3, R1, R2
+mul R4, R3, R1
+halt
+)",
+                                   diags);
+    EXPECT_TRUE(prog.has_value()) << diags.dump();
+    std::string err;
+    EXPECT_TRUE(sim.loadProgram(*prog, &err)) << err;
+    EXPECT_EQ(sim.run(1000).reason, StopReason::Halted);
+    sim.drainPipeline();
+    *stallsOut = sim.stats().dataStallCycles;
+    int rf = m->findStorage("RF");
+    return sim.state().read(static_cast<unsigned>(rf), 4).toUint64();
+  };
+
+  std::uint64_t bypassStalls = 0, interlockStalls = 0;
+  EXPECT_EQ(runWith("0", &bypassStalls), 36u);     // (3*4)*3, forwarded
+  EXPECT_EQ(runWith("2", &interlockStalls), 36u);  // same value, stalled
+  EXPECT_EQ(bypassStalls, 0u);
+  EXPECT_EQ(interlockStalls, 2u);
+}
+
+// --- structural hazards (Usage) -----------------------------------------------
+
+TEST(XsimStructural, UsageKeepsUnitBusy) {
+  auto m = parseAndCheckIsdl(R"(
+machine U {
+  section format { word_width = 32; }
+  section storage {
+    instruction_memory IM width 32 depth 64;
+    register_file RF width 16 depth 8;
+    program_counter PC width 16;
+  }
+  section global_definitions {
+    token REG enum width 3 prefix "R" range 0 .. 7;
+    token S8 immediate signed width 8;
+  }
+  section instruction_set {
+    field EX {
+      operation nop() { encode { inst[31:27] = 5'd0; } }
+      operation slow(d: REG, i: S8) {
+        encode { inst[31:27] = 5'd1; inst[26:24] = d; inst[23:16] = i; }
+        action { RF[d] <- sext(i, 16); }
+        timing { usage = 3; }
+      }
+      operation halt() { encode { inst[31:27] = 5'd31; } }
+    }
+  }
+  section optional { halt_operation = "EX.halt"; }
+}
+)");
+  Xsim sim(*m);
+  Assembler assembler(sim.signatures());
+  DiagnosticEngine diags;
+  auto prog = assembler.assemble("slow R1, 1\nslow R2, 2\nhalt\n", diags);
+  ASSERT_TRUE(prog.has_value()) << diags.dump();
+  std::string err;
+  ASSERT_TRUE(sim.loadProgram(*prog, &err)) << err;
+  EXPECT_EQ(sim.run(1000).reason, StopReason::Halted);
+  // slow issues at 0; unit busy until 3; second slow stalls 2 cycles.
+  EXPECT_EQ(sim.stats().structStallCycles, 4u);  // 2 (slow2) + 2 (halt)
+  sim.drainPipeline();
+  int rf = m->findStorage("RF");
+  EXPECT_EQ(sim.state().read(static_cast<unsigned>(rf), 2).toUint64(), 2u);
+}
+
+// --- multi-word instructions ---------------------------------------------------
+
+TEST(XsimMultiWord, TwoWordInstructionFetchesAndAdvances) {
+  auto m = parseAndCheckIsdl(R"(
+machine W {
+  section format { word_width = 16; }
+  section storage {
+    instruction_memory IM width 16 depth 64;
+    register_file RF width 16 depth 4;
+    program_counter PC width 16;
+  }
+  section global_definitions {
+    token REG enum width 2 prefix "R" range 0 .. 3;
+    token U16 immediate unsigned width 16;
+    token S4 immediate signed width 4;
+  }
+  section instruction_set {
+    field EX {
+      operation nop() { encode { inst[15:12] = 4'd0; } }
+      operation limm(d: REG, i: U16) {
+        encode { inst[15:12] = 4'd1; inst[11:10] = d; inst[31:16] = i; }
+        action { RF[d] <- i; }
+        costs { size = 2; }
+      }
+      operation li(d: REG, i: S4) {
+        encode { inst[15:12] = 4'd2; inst[11:10] = d; inst[9:6] = i; }
+        action { RF[d] <- sext(i, 16); }
+      }
+      operation halt() { encode { inst[15:12] = 4'd15; } }
+    }
+  }
+  section optional { halt_operation = "EX.halt"; }
+}
+)");
+  Xsim sim(*m);
+  Assembler assembler(sim.signatures());
+  DiagnosticEngine diags;
+  auto prog = assembler.assemble("limm R1, 0xBEEF\nli R2, 3\nhalt\n", diags);
+  ASSERT_TRUE(prog.has_value()) << diags.dump();
+  ASSERT_EQ(prog->words.size(), 4u);
+  EXPECT_EQ(prog->words[1].toUint64(), 0xBEEFu);  // extension word
+  std::string err;
+  ASSERT_TRUE(sim.loadProgram(*prog, &err)) << err;
+  EXPECT_EQ(sim.run(1000).reason, StopReason::Halted);
+  sim.drainPipeline();
+  int rf = m->findStorage("RF");
+  EXPECT_EQ(sim.state().read(static_cast<unsigned>(rf), 1).toUint64(),
+            0xBEEFu);
+  EXPECT_EQ(sim.state().read(static_cast<unsigned>(rf), 2).toUint64(), 3u);
+  EXPECT_EQ(sim.stats().instructions, 3u);
+}
+
+}  // namespace
+}  // namespace isdl::sim
