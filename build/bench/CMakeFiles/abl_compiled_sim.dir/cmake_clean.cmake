@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_compiled_sim.dir/abl_compiled_sim.cpp.o"
+  "CMakeFiles/abl_compiled_sim.dir/abl_compiled_sim.cpp.o.d"
+  "abl_compiled_sim"
+  "abl_compiled_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_compiled_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_monitors.dir/abl_monitors.cpp.o"
+  "CMakeFiles/abl_monitors.dir/abl_monitors.cpp.o.d"
+  "abl_monitors"
+  "abl_monitors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_monitors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_offline_disasm.dir/abl_offline_disasm.cpp.o"
+  "CMakeFiles/abl_offline_disasm.dir/abl_offline_disasm.cpp.o.d"
+  "abl_offline_disasm"
+  "abl_offline_disasm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_offline_disasm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_offline_disasm.
+# This may be replaced when dependencies are built.

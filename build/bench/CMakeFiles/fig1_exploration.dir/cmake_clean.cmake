@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_exploration.dir/fig1_exploration.cpp.o"
+  "CMakeFiles/fig1_exploration.dir/fig1_exploration.cpp.o.d"
+  "fig1_exploration"
+  "fig1_exploration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_exploration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig3_signatures.dir/fig3_signatures.cpp.o"
+  "CMakeFiles/fig3_signatures.dir/fig3_signatures.cpp.o.d"
+  "fig3_signatures"
+  "fig3_signatures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig3_signatures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

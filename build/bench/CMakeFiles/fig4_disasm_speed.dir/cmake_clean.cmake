@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_disasm_speed.dir/fig4_disasm_speed.cpp.o"
+  "CMakeFiles/fig4_disasm_speed.dir/fig4_disasm_speed.cpp.o.d"
+  "fig4_disasm_speed"
+  "fig4_disasm_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_disasm_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

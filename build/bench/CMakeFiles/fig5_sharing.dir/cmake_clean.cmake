@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_sharing.dir/fig5_sharing.cpp.o"
+  "CMakeFiles/fig5_sharing.dir/fig5_sharing.cpp.o.d"
+  "fig5_sharing"
+  "fig5_sharing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_sharing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table1_sim_speed.dir/table1_sim_speed.cpp.o"
+  "CMakeFiles/table1_sim_speed.dir/table1_sim_speed.cpp.o.d"
+  "table1_sim_speed"
+  "table1_sim_speed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table1_sim_speed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_hgen_stats.dir/table2_hgen_stats.cpp.o"
+  "CMakeFiles/table2_hgen_stats.dir/table2_hgen_stats.cpp.o.d"
+  "table2_hgen_stats"
+  "table2_hgen_stats.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_hgen_stats.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

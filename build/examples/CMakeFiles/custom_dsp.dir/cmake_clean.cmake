@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/custom_dsp.dir/custom_dsp.cpp.o"
+  "CMakeFiles/custom_dsp.dir/custom_dsp.cpp.o.d"
+  "custom_dsp"
+  "custom_dsp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/custom_dsp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

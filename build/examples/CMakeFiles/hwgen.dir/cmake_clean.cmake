@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hwgen.dir/hwgen.cpp.o"
+  "CMakeFiles/hwgen.dir/hwgen.cpp.o.d"
+  "hwgen"
+  "hwgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hwgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

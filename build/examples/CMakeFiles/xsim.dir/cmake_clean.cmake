@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsim.dir/xsim.cpp.o"
+  "CMakeFiles/xsim.dir/xsim.cpp.o.d"
+  "xsim"
+  "xsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/archs/programs.cpp" "src/archs/CMakeFiles/isdl_archs.dir/programs.cpp.o" "gcc" "src/archs/CMakeFiles/isdl_archs.dir/programs.cpp.o.d"
+  "/root/repo/src/archs/spam.cpp" "src/archs/CMakeFiles/isdl_archs.dir/spam.cpp.o" "gcc" "src/archs/CMakeFiles/isdl_archs.dir/spam.cpp.o.d"
+  "/root/repo/src/archs/spam2.cpp" "src/archs/CMakeFiles/isdl_archs.dir/spam2.cpp.o" "gcc" "src/archs/CMakeFiles/isdl_archs.dir/spam2.cpp.o.d"
+  "/root/repo/src/archs/srep.cpp" "src/archs/CMakeFiles/isdl_archs.dir/srep.cpp.o" "gcc" "src/archs/CMakeFiles/isdl_archs.dir/srep.cpp.o.d"
+  "/root/repo/src/archs/tdsp.cpp" "src/archs/CMakeFiles/isdl_archs.dir/tdsp.cpp.o" "gcc" "src/archs/CMakeFiles/isdl_archs.dir/tdsp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isdl/CMakeFiles/isdl_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/isdl_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/isdl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isdl_archs.dir/programs.cpp.o"
+  "CMakeFiles/isdl_archs.dir/programs.cpp.o.d"
+  "CMakeFiles/isdl_archs.dir/spam.cpp.o"
+  "CMakeFiles/isdl_archs.dir/spam.cpp.o.d"
+  "CMakeFiles/isdl_archs.dir/spam2.cpp.o"
+  "CMakeFiles/isdl_archs.dir/spam2.cpp.o.d"
+  "CMakeFiles/isdl_archs.dir/srep.cpp.o"
+  "CMakeFiles/isdl_archs.dir/srep.cpp.o.d"
+  "CMakeFiles/isdl_archs.dir/tdsp.cpp.o"
+  "CMakeFiles/isdl_archs.dir/tdsp.cpp.o.d"
+  "libisdl_archs.a"
+  "libisdl_archs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isdl_archs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for isdl_archs.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isdl_explore.dir/driver.cpp.o"
+  "CMakeFiles/isdl_explore.dir/driver.cpp.o.d"
+  "CMakeFiles/isdl_explore.dir/evaluate.cpp.o"
+  "CMakeFiles/isdl_explore.dir/evaluate.cpp.o.d"
+  "CMakeFiles/isdl_explore.dir/spamfamily.cpp.o"
+  "CMakeFiles/isdl_explore.dir/spamfamily.cpp.o.d"
+  "libisdl_explore.a"
+  "libisdl_explore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isdl_explore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isdl_hgen.dir/hgen.cpp.o"
+  "CMakeFiles/isdl_hgen.dir/hgen.cpp.o.d"
+  "libisdl_hgen.a"
+  "libisdl_hgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isdl_hgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

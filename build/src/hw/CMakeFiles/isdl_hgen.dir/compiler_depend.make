@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for isdl_hgen.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/datapath.cpp" "src/hw/CMakeFiles/isdl_hw.dir/datapath.cpp.o" "gcc" "src/hw/CMakeFiles/isdl_hw.dir/datapath.cpp.o.d"
+  "/root/repo/src/hw/decode.cpp" "src/hw/CMakeFiles/isdl_hw.dir/decode.cpp.o" "gcc" "src/hw/CMakeFiles/isdl_hw.dir/decode.cpp.o.d"
+  "/root/repo/src/hw/netlist.cpp" "src/hw/CMakeFiles/isdl_hw.dir/netlist.cpp.o" "gcc" "src/hw/CMakeFiles/isdl_hw.dir/netlist.cpp.o.d"
+  "/root/repo/src/hw/sharing.cpp" "src/hw/CMakeFiles/isdl_hw.dir/sharing.cpp.o" "gcc" "src/hw/CMakeFiles/isdl_hw.dir/sharing.cpp.o.d"
+  "/root/repo/src/hw/verilog.cpp" "src/hw/CMakeFiles/isdl_hw.dir/verilog.cpp.o" "gcc" "src/hw/CMakeFiles/isdl_hw.dir/verilog.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/isdl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isdl/CMakeFiles/isdl_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/isdl_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/isdl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

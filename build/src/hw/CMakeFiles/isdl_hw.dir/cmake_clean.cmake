@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isdl_hw.dir/datapath.cpp.o"
+  "CMakeFiles/isdl_hw.dir/datapath.cpp.o.d"
+  "CMakeFiles/isdl_hw.dir/decode.cpp.o"
+  "CMakeFiles/isdl_hw.dir/decode.cpp.o.d"
+  "CMakeFiles/isdl_hw.dir/netlist.cpp.o"
+  "CMakeFiles/isdl_hw.dir/netlist.cpp.o.d"
+  "CMakeFiles/isdl_hw.dir/sharing.cpp.o"
+  "CMakeFiles/isdl_hw.dir/sharing.cpp.o.d"
+  "CMakeFiles/isdl_hw.dir/verilog.cpp.o"
+  "CMakeFiles/isdl_hw.dir/verilog.cpp.o.d"
+  "libisdl_hw.a"
+  "libisdl_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isdl_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

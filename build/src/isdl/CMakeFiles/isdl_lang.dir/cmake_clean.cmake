@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isdl_lang.dir/lexer.cpp.o"
+  "CMakeFiles/isdl_lang.dir/lexer.cpp.o.d"
+  "CMakeFiles/isdl_lang.dir/model.cpp.o"
+  "CMakeFiles/isdl_lang.dir/model.cpp.o.d"
+  "CMakeFiles/isdl_lang.dir/parser.cpp.o"
+  "CMakeFiles/isdl_lang.dir/parser.cpp.o.d"
+  "CMakeFiles/isdl_lang.dir/sema.cpp.o"
+  "CMakeFiles/isdl_lang.dir/sema.cpp.o.d"
+  "libisdl_lang.a"
+  "libisdl_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isdl_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

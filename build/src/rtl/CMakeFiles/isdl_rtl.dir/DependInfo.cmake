@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rtl/eval.cpp" "src/rtl/CMakeFiles/isdl_rtl.dir/eval.cpp.o" "gcc" "src/rtl/CMakeFiles/isdl_rtl.dir/eval.cpp.o.d"
+  "/root/repo/src/rtl/fold.cpp" "src/rtl/CMakeFiles/isdl_rtl.dir/fold.cpp.o" "gcc" "src/rtl/CMakeFiles/isdl_rtl.dir/fold.cpp.o.d"
+  "/root/repo/src/rtl/ir.cpp" "src/rtl/CMakeFiles/isdl_rtl.dir/ir.cpp.o" "gcc" "src/rtl/CMakeFiles/isdl_rtl.dir/ir.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/isdl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

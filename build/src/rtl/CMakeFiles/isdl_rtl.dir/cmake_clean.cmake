@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isdl_rtl.dir/eval.cpp.o"
+  "CMakeFiles/isdl_rtl.dir/eval.cpp.o.d"
+  "CMakeFiles/isdl_rtl.dir/fold.cpp.o"
+  "CMakeFiles/isdl_rtl.dir/fold.cpp.o.d"
+  "CMakeFiles/isdl_rtl.dir/ir.cpp.o"
+  "CMakeFiles/isdl_rtl.dir/ir.cpp.o.d"
+  "libisdl_rtl.a"
+  "libisdl_rtl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isdl_rtl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

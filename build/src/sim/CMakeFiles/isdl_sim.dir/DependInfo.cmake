@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/assembler.cpp" "src/sim/CMakeFiles/isdl_sim.dir/assembler.cpp.o" "gcc" "src/sim/CMakeFiles/isdl_sim.dir/assembler.cpp.o.d"
+  "/root/repo/src/sim/cli.cpp" "src/sim/CMakeFiles/isdl_sim.dir/cli.cpp.o" "gcc" "src/sim/CMakeFiles/isdl_sim.dir/cli.cpp.o.d"
+  "/root/repo/src/sim/codegen.cpp" "src/sim/CMakeFiles/isdl_sim.dir/codegen.cpp.o" "gcc" "src/sim/CMakeFiles/isdl_sim.dir/codegen.cpp.o.d"
+  "/root/repo/src/sim/core.cpp" "src/sim/CMakeFiles/isdl_sim.dir/core.cpp.o" "gcc" "src/sim/CMakeFiles/isdl_sim.dir/core.cpp.o.d"
+  "/root/repo/src/sim/disasm.cpp" "src/sim/CMakeFiles/isdl_sim.dir/disasm.cpp.o" "gcc" "src/sim/CMakeFiles/isdl_sim.dir/disasm.cpp.o.d"
+  "/root/repo/src/sim/signature.cpp" "src/sim/CMakeFiles/isdl_sim.dir/signature.cpp.o" "gcc" "src/sim/CMakeFiles/isdl_sim.dir/signature.cpp.o.d"
+  "/root/repo/src/sim/state.cpp" "src/sim/CMakeFiles/isdl_sim.dir/state.cpp.o" "gcc" "src/sim/CMakeFiles/isdl_sim.dir/state.cpp.o.d"
+  "/root/repo/src/sim/xsim.cpp" "src/sim/CMakeFiles/isdl_sim.dir/xsim.cpp.o" "gcc" "src/sim/CMakeFiles/isdl_sim.dir/xsim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/isdl/CMakeFiles/isdl_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/isdl_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/isdl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isdl_sim.dir/assembler.cpp.o"
+  "CMakeFiles/isdl_sim.dir/assembler.cpp.o.d"
+  "CMakeFiles/isdl_sim.dir/cli.cpp.o"
+  "CMakeFiles/isdl_sim.dir/cli.cpp.o.d"
+  "CMakeFiles/isdl_sim.dir/codegen.cpp.o"
+  "CMakeFiles/isdl_sim.dir/codegen.cpp.o.d"
+  "CMakeFiles/isdl_sim.dir/core.cpp.o"
+  "CMakeFiles/isdl_sim.dir/core.cpp.o.d"
+  "CMakeFiles/isdl_sim.dir/disasm.cpp.o"
+  "CMakeFiles/isdl_sim.dir/disasm.cpp.o.d"
+  "CMakeFiles/isdl_sim.dir/signature.cpp.o"
+  "CMakeFiles/isdl_sim.dir/signature.cpp.o.d"
+  "CMakeFiles/isdl_sim.dir/state.cpp.o"
+  "CMakeFiles/isdl_sim.dir/state.cpp.o.d"
+  "CMakeFiles/isdl_sim.dir/xsim.cpp.o"
+  "CMakeFiles/isdl_sim.dir/xsim.cpp.o.d"
+  "libisdl_sim.a"
+  "libisdl_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isdl_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

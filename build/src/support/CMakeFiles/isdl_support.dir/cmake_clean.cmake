@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isdl_support.dir/bitvector.cpp.o"
+  "CMakeFiles/isdl_support.dir/bitvector.cpp.o.d"
+  "libisdl_support.a"
+  "libisdl_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isdl_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

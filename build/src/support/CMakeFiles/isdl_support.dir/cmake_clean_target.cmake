@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libisdl_support.a"
+)

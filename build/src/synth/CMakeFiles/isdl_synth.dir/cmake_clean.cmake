@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isdl_synth.dir/gatesim.cpp.o"
+  "CMakeFiles/isdl_synth.dir/gatesim.cpp.o.d"
+  "CMakeFiles/isdl_synth.dir/mapper.cpp.o"
+  "CMakeFiles/isdl_synth.dir/mapper.cpp.o.d"
+  "libisdl_synth.a"
+  "libisdl_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isdl_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/archs_test.dir/archs_test.cpp.o"
+  "CMakeFiles/archs_test.dir/archs_test.cpp.o.d"
+  "archs_test"
+  "archs_test.pdb"
+  "archs_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/archs_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

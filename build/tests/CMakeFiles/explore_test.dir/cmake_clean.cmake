@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explore_test.dir/explore_test.cpp.o"
+  "CMakeFiles/explore_test.dir/explore_test.cpp.o.d"
+  "explore_test"
+  "explore_test.pdb"
+  "explore_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explore_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fuzz_diff_test.dir/fuzz_diff_test.cpp.o"
+  "CMakeFiles/fuzz_diff_test.dir/fuzz_diff_test.cpp.o.d"
+  "fuzz_diff_test"
+  "fuzz_diff_test.pdb"
+  "fuzz_diff_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fuzz_diff_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

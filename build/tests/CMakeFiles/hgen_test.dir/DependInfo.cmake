@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/hgen_test.cpp" "tests/CMakeFiles/hgen_test.dir/hgen_test.cpp.o" "gcc" "tests/CMakeFiles/hgen_test.dir/hgen_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/hw/CMakeFiles/isdl_hgen.dir/DependInfo.cmake"
+  "/root/repo/build/src/archs/CMakeFiles/isdl_archs.dir/DependInfo.cmake"
+  "/root/repo/build/src/synth/CMakeFiles/isdl_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/isdl_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/isdl_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/isdl/CMakeFiles/isdl_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/rtl/CMakeFiles/isdl_rtl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/isdl_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

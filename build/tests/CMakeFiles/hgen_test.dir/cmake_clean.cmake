@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hgen_test.dir/hgen_test.cpp.o"
+  "CMakeFiles/hgen_test.dir/hgen_test.cpp.o.d"
+  "hgen_test"
+  "hgen_test.pdb"
+  "hgen_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hgen_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sema_test.dir/sema_test.cpp.o"
+  "CMakeFiles/sema_test.dir/sema_test.cpp.o.d"
+  "sema_test"
+  "sema_test.pdb"
+  "sema_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sema_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/storage_kinds_test.dir/storage_kinds_test.cpp.o"
+  "CMakeFiles/storage_kinds_test.dir/storage_kinds_test.cpp.o.d"
+  "storage_kinds_test"
+  "storage_kinds_test.pdb"
+  "storage_kinds_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/storage_kinds_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xsim_test.dir/xsim_test.cpp.o"
+  "CMakeFiles/xsim_test.dir/xsim_test.cpp.o.d"
+  "xsim_test"
+  "xsim_test.pdb"
+  "xsim_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xsim_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

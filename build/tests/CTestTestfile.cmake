@@ -1,0 +1,24 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/bitvector_test[1]_include.cmake")
+include("/root/repo/build/tests/lexer_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_test[1]_include.cmake")
+include("/root/repo/build/tests/sema_test[1]_include.cmake")
+include("/root/repo/build/tests/rtl_eval_test[1]_include.cmake")
+include("/root/repo/build/tests/signature_test[1]_include.cmake")
+include("/root/repo/build/tests/assembler_test[1]_include.cmake")
+include("/root/repo/build/tests/xsim_test[1]_include.cmake")
+include("/root/repo/build/tests/archs_test[1]_include.cmake")
+include("/root/repo/build/tests/cosim_test[1]_include.cmake")
+include("/root/repo/build/tests/sharing_test[1]_include.cmake")
+include("/root/repo/build/tests/hgen_test[1]_include.cmake")
+include("/root/repo/build/tests/explore_test[1]_include.cmake")
+include("/root/repo/build/tests/cli_test[1]_include.cmake")
+include("/root/repo/build/tests/codegen_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_diff_test[1]_include.cmake")
+include("/root/repo/build/tests/netlist_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_kinds_test[1]_include.cmake")
