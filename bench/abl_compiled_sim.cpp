@@ -38,12 +38,13 @@ void BM_InterpretedSrepDot(benchmark::State& state) {
 }
 BENCHMARK(BM_InterpretedSrepDot);
 
-void printSummary() {
+void printSummary(ResultSink& sink) {
   std::printf("\nAblation: interpreted vs compiled-code simulation "
               "(paper section 6.2)\n");
   printRule();
   if (std::system("c++ --version > /dev/null 2>&1") != 0) {
     std::printf("  (no host C++ compiler; compiled-code row skipped)\n\n");
+    sink.note("skipped", "no host C++ compiler");
     return;
   }
 
@@ -104,6 +105,10 @@ void printSummary() {
                 interp, 1.0);
     std::printf("%-8s %-24s %18.0f %9.1fx\n", row.arch,
                 "compiled-code (generated)", compiled, compiled / interp);
+    std::string k(row.arch);
+    sink.add(k + "/interpreted_cycles_per_sec", interp);
+    sink.add(k + "/compiled_cycles_per_sec", compiled);
+    sink.add(k + "/compiled_speedup", compiled / interp);
     std::remove("abl_compiled_sim.gen.cpp");
     std::remove("abl_compiled_sim.gen.bin");
     std::remove("abl_compiled_sim.out");
@@ -117,6 +122,7 @@ void printSummary() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  printSummary();
+  ResultSink sink("abl_compiled_sim");
+  printSummary(sink);
   return 0;
 }

@@ -70,7 +70,7 @@ void BM_HotMonitor(benchmark::State& state) {
 }
 BENCHMARK(BM_HotMonitor);
 
-void printSummary() {
+void printSummary(ResultSink& sink) {
   Rig plain;
   double base = plain.instrPerSec();
 
@@ -96,6 +96,11 @@ void printSummary() {
               hotRate, base / hotRate);
   std::printf("  cold watch (DM[999]):    %11.0f instructions/sec (%.2fx)\n\n",
               coldRate, base / coldRate);
+  sink.add("no_monitors_inst_per_sec", base);
+  sink.add("hot_watch_inst_per_sec", hotRate);
+  sink.add("cold_watch_inst_per_sec", coldRate);
+  sink.add("hot_watch_overhead_x", base / hotRate);
+  sink.add("cold_watch_overhead_x", base / coldRate);
 }
 
 }  // namespace
@@ -103,6 +108,7 @@ void printSummary() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  printSummary();
+  ResultSink sink("abl_monitors");
+  printSummary(sink);
   return 0;
 }

@@ -61,7 +61,7 @@ void BM_OnTheFlyDisasmExecution(benchmark::State& state) {
 }
 BENCHMARK(BM_OnTheFlyDisasmExecution);
 
-void printSummary() {
+void printSummary(ResultSink& sink) {
   Rig rig;
   std::uint64_t insts = 0;
   auto [offIters, offSecs] = timeLoop([&] {
@@ -89,6 +89,9 @@ void printSummary() {
               onTheFly);
   std::printf("  off-line speedup:           %12.2fx\n\n",
               offline / onTheFly);
+  sink.add("offline_inst_per_sec", offline);
+  sink.add("on_the_fly_inst_per_sec", onTheFly);
+  sink.add("offline_speedup", offline / onTheFly);
 }
 
 }  // namespace
@@ -96,6 +99,7 @@ void printSummary() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  printSummary();
+  ResultSink sink("abl_offline_disasm");
+  printSummary(sink);
   return 0;
 }

@@ -8,15 +8,60 @@
 
 #include <chrono>
 #include <cstdio>
+#include <fstream>
 #include <functional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "archs/archs.h"
 #include "hw/hgen.h"
+#include "obs/json.h"
 #include "sim/xsim.h"
 #include "synth/gatesim.h"
 
 namespace isdl::bench {
+
+/// Funnel for measured bench results. Every fig/table bench records the
+/// numbers it prints here too; the destructor writes them as
+/// `BENCH_<name>.json` in the working directory, so a run of the bench
+/// binaries leaves a machine-readable trajectory next to the console tables
+/// (schema: docs/OBSERVABILITY.md).
+class ResultSink {
+ public:
+  explicit ResultSink(std::string name) : name_(std::move(name)) {}
+
+  void add(std::string key, double value) {
+    numbers_.emplace_back(std::move(key), value);
+  }
+  void note(std::string key, std::string value) {
+    notes_.emplace_back(std::move(key), std::move(value));
+  }
+
+  std::string path() const { return "BENCH_" + name_ + ".json"; }
+
+  ~ResultSink() {
+    std::ofstream out(path());
+    if (!out) return;  // read-only cwd: keep the console output authoritative
+    obs::JsonWriter w(out, /*pretty=*/true);
+    w.beginObject();
+    w.field("bench", name_);
+    w.key("results").beginObject();
+    for (const auto& [key, value] : numbers_) w.field(key, value);
+    w.endObject();
+    w.key("notes").beginObject();
+    for (const auto& [key, value] : notes_) w.field(key, value);
+    w.endObject();
+    w.endObject();
+    out << "\n";
+    std::printf("results written to %s\n", path().c_str());
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, double>> numbers_;
+  std::vector<std::pair<std::string, std::string>> notes_;
+};
 
 /// Assembles `source` for `machine`; aborts on error (bench inputs are the
 /// repo's own benchmarks, so failure is a bug).

@@ -37,7 +37,7 @@ void BM_FullExplorationLoop(benchmark::State& state) {
 }
 BENCHMARK(BM_FullExplorationLoop)->Unit(benchmark::kMillisecond);
 
-void printFigure1() {
+void printFigure1(ResultSink& sink) {
   std::printf("\nFigure 1: architecture exploration by iterative improvement\n");
   std::printf("Search space: SPAM family (ALU units x move units); workload: "
               "64-element dot product;\nobjective: runtime x die size "
@@ -70,6 +70,18 @@ void printFigure1() {
               result.iterations, result.best.name.c_str(),
               static_cast<unsigned long long>(result.bestEval.cycles),
               result.bestEval.dieSizeGridCells, result.bestEval.runtimeUs());
+
+  sink.note("best", result.best.name);
+  sink.add("iterations", result.iterations);
+  sink.add("candidates_evaluated", double(result.history.size()));
+  sink.add("best/cycles", double(result.bestEval.cycles));
+  sink.add("best/die_size_grid_cells", result.bestEval.dieSizeGridCells);
+  sink.add("best/runtime_us", result.bestEval.runtimeUs());
+  sink.add("best/stall_fraction", result.bestEval.metrics.stallFraction());
+
+  // The full trajectory, through the same schema explore itself exports.
+  std::ofstream json("BENCH_fig1_exploration.trajectory.json");
+  if (json) result.writeJson(json);
 }
 
 }  // namespace
@@ -77,6 +89,7 @@ void printFigure1() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  printFigure1();
+  ResultSink sink("fig1_exploration");
+  printFigure1(sink);
   return 0;
 }

@@ -68,5 +68,21 @@ int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
   printFigure3();
+
+  ResultSink sink("fig3_signatures");
+  struct Row {
+    const char* arch;
+    std::unique_ptr<Machine> (*loader)();
+  } rows[] = {{"SPAM", archs::loadSpam}, {"SREP", archs::loadSrep}};
+  for (const Row& row : rows) {
+    auto machine = row.loader();
+    auto [iters, seconds] = timeLoop([&] {
+      DiagnosticEngine diags;
+      sim::SignatureTable sigs(*machine, diags);
+      benchmark::DoNotOptimize(sigs.valid());
+    });
+    sink.add(std::string(row.arch) + "/sigtable_builds_per_sec",
+             double(iters) / seconds);
+  }
   return 0;
 }

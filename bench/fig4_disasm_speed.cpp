@@ -57,7 +57,7 @@ void BM_DecodeOneInstruction(benchmark::State& state) {
 }
 BENCHMARK(BM_DecodeOneInstruction);
 
-void printFigure4() {
+void printFigure4(ResultSink& sink) {
   std::printf("\nFigure 4: disassembly algorithm — decode cost vs "
               "description size\n");
   printRule();
@@ -87,6 +87,9 @@ void printFigure4() {
     double rate = double(iters) * double(decoded) / seconds;
     std::printf("%-8s %10zu %12zu %22.0f %20.1f\n", row.name,
                 s.machine->fields.size(), nops, rate, 1e9 / rate);
+    sink.add(std::string(row.name) + "/operations", double(nops));
+    sink.add(std::string(row.name) + "/decode_inst_per_sec", rate);
+    sink.add(std::string(row.name) + "/ns_per_instruction", 1e9 / rate);
   }
   printRule();
   std::printf("Shape check: per-instruction decode time grows with the "
@@ -99,6 +102,7 @@ void printFigure4() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  printFigure4();
+  ResultSink sink("fig4_disasm_speed");
+  printFigure4(sink);
   return 0;
 }

@@ -28,7 +28,7 @@ void BM_ShareResourcesSpam(benchmark::State& state) {
 }
 BENCHMARK(BM_ShareResourcesSpam)->Unit(benchmark::kMillisecond);
 
-void printFigure5() {
+void printFigure5(ResultSink& sink) {
   std::printf("\nFigure 5: resource sharing — compatibility matrix + maximal "
               "cliques\n");
   printRule('-', 100);
@@ -58,14 +58,22 @@ void printFigure5() {
     hw::HgenOutput shared = hw::runHgen(*machine, sigs);
 
     const auto& rep = shared.stats.sharing;
+    double savedPct = 100.0 * (naive.stats.area.logicArea -
+                               shared.stats.area.logicArea) /
+                      naive.stats.area.logicArea;
     std::printf("%-8s %9zu %9zu %9zu %8zu %7zu  %14.0f %14.0f %8.1f%%\n",
                 row.name, rep.shareableNodes, rep.maximalCliques,
                 rep.unitsAfter, rep.unitsBefore - rep.unitsAfter,
                 rep.muxesAdded, naive.stats.area.logicArea,
-                shared.stats.area.logicArea,
-                100.0 * (naive.stats.area.logicArea -
-                         shared.stats.area.logicArea) /
-                    naive.stats.area.logicArea);
+                shared.stats.area.logicArea, savedPct);
+    std::string k(row.name);
+    sink.add(k + "/shareable_nodes", double(rep.shareableNodes));
+    sink.add(k + "/maximal_cliques", double(rep.maximalCliques));
+    sink.add(k + "/units_after", double(rep.unitsAfter));
+    sink.add(k + "/muxes_added", double(rep.muxesAdded));
+    sink.add(k + "/naive_logic_area", naive.stats.area.logicArea);
+    sink.add(k + "/shared_logic_area", shared.stats.area.logicArea);
+    sink.add(k + "/area_saved_pct", savedPct);
   }
   printRule('-', 100);
 
@@ -87,6 +95,9 @@ void printFigure5() {
   std::printf("  without constraints: %zu cliques, logic area %.0f\n\n",
               without.stats.sharing.cliquesUsed,
               without.stats.area.logicArea);
+  sink.add("SPAM/r4_with_constraints_logic_area", with.stats.area.logicArea);
+  sink.add("SPAM/r4_without_constraints_logic_area",
+           without.stats.area.logicArea);
 }
 
 }  // namespace
@@ -94,6 +105,7 @@ void printFigure5() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  printFigure5();
+  ResultSink sink("fig5_sharing");
+  printFigure5(sink);
   return 0;
 }

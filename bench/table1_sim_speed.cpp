@@ -64,7 +64,7 @@ void BM_HwModelSpamDot(benchmark::State& state) {
 }
 BENCHMARK(BM_HwModelSpamDot)->Unit(benchmark::kMillisecond);
 
-void printTable1() {
+void printTable1(ResultSink& sink) {
   struct Row {
     const char* arch;
     std::unique_ptr<Machine> (*loader)();
@@ -95,6 +95,9 @@ void printTable1() {
                 "XSIM (ILS) Simulator", ils, ils / hwm);
     std::printf("%-8s %-28s %18.0f %9.0fx\n", row.arch,
                 "Synthesizable model (netlist)", hwm, 1.0);
+    sink.add(std::string(row.arch) + "/xsim_cycles_per_sec", ils);
+    sink.add(std::string(row.arch) + "/hw_model_cycles_per_sec", hwm);
+    sink.add(std::string(row.arch) + "/speedup", ils / hwm);
   }
   printRule();
   std::printf("Shape check: the ILS is orders of magnitude faster and the "
@@ -106,6 +109,8 @@ void printTable1() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  printTable1();
+  ResultSink sink("table1_sim_speed");
+  sink.note("paper", "XSIM 370000 cycles/sec, Verilog model 879, 421x");
+  printTable1(sink);
   return 0;
 }

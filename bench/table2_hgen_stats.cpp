@@ -35,7 +35,7 @@ BENCHMARK(BM_RunHgen<archs::loadSpam2>)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RunHgen<archs::loadSrep>)->Unit(benchmark::kMillisecond);
 BENCHMARK(BM_RunHgen<archs::loadTdsp>)->Unit(benchmark::kMillisecond);
 
-void printTable2() {
+void printTable2(ResultSink& sink) {
   struct Row {
     const char* name;
     std::unique_ptr<Machine> (*loader)();
@@ -60,6 +60,11 @@ void printTable2() {
     std::printf("%-8s %12.2f %10zu %22.0f %14.3f\n", row.name,
                 out.stats.cycleNs, out.stats.verilogLines,
                 out.stats.dieSizeGridCells, out.stats.synthesisSeconds);
+    std::string k(row.name);
+    sink.add(k + "/cycle_ns", out.stats.cycleNs);
+    sink.add(k + "/verilog_lines", double(out.stats.verilogLines));
+    sink.add(k + "/die_size_grid_cells", out.stats.dieSizeGridCells);
+    sink.add(k + "/synthesis_seconds", out.stats.synthesisSeconds);
   }
   printRule();
   std::printf("Breakdown for SPAM (logic / flops / RAM grid cells, tool vs "
@@ -86,6 +91,9 @@ void printTable2() {
 int main(int argc, char** argv) {
   benchmark::Initialize(&argc, argv);
   benchmark::RunSpecifiedBenchmarks();
-  printTable2();
+  ResultSink sink("table2_hgen_stats");
+  sink.note("paper", "Synopsys + LSI 10K; SPAM larger and slower-clocked "
+                     "than SPAM2");
+  printTable2(sink);
   return 0;
 }

@@ -7,6 +7,7 @@
 // Build & run:  ./build/examples/explore
 
 #include <cstdio>
+#include <fstream>
 
 #include "explore/spamfamily.h"
 
@@ -52,10 +53,30 @@ int main() {
   std::printf("  runtime     %.2f us\n", result.bestEval.runtimeUs());
 
   std::printf("\nfield utilization of the best candidate:\n");
-  const auto& stats = result.bestEval.stats;
-  for (std::size_t f = 0; f < stats.fieldUtilization.size(); ++f)
-    std::printf("  field %zu: %llu of %llu instructions\n", f,
-                (unsigned long long)stats.fieldUtilization[f],
-                (unsigned long long)stats.instructions);
+  const auto& metrics = result.bestEval.metrics;
+  for (const auto& u : metrics.utilization)
+    std::printf("  field %s: %llu of %llu instructions\n", u.field.c_str(),
+                (unsigned long long)u.usefulInstructions,
+                (unsigned long long)metrics.instructions);
+
+  std::printf("\nstall attribution of the best candidate (%.1f%% of cycles "
+              "are stalls):\n", 100.0 * metrics.stallFraction());
+  for (const auto& s : metrics.dataStallsByProducer)
+    std::printf("  data stalls waiting on %s: %llu cycles\n",
+                s.producer.c_str(), (unsigned long long)s.cycles);
+  for (const auto& s : metrics.structStallsByField)
+    std::printf("  struct stalls on busy %s: %llu cycles\n",
+                s.producer.c_str(), (unsigned long long)s.cycles);
+  if (metrics.dataStallsByProducer.empty() &&
+      metrics.structStallsByField.empty())
+    std::printf("  (none)\n");
+
+  const char* jsonPath = "explore_metrics.json";
+  std::ofstream json(jsonPath);
+  if (json) {
+    result.writeJson(json);
+    std::printf("\nwrote the exploration trajectory and the best candidate's "
+                "metrics to %s\n", jsonPath);
+  }
   return 0;
 }

@@ -1,8 +1,40 @@
 #include "explore/driver.h"
 
+#include <ostream>
+
+#include "obs/json.h"
 #include "support/diag.h"
 
 namespace isdl::explore {
+
+void ExplorationDriver::Result::writeJson(std::ostream& out) const {
+  obs::JsonWriter w(out, /*pretty=*/true);
+  w.beginObject();
+  w.field("best", best.name);
+  w.field("iterations", std::uint64_t{iterations});
+  w.key("history").beginArray();
+  for (const Step& step : history) {
+    w.beginObject();
+    w.field("iteration", std::uint64_t{step.iteration});
+    w.field("candidate", step.candidateName);
+    if (step.failed) {
+      w.field("failed", true);
+    } else {
+      w.field("objective", step.objective);
+      w.field("runtime_us", step.runtimeUs);
+      w.field("die_size", step.dieSize);
+      w.field("cycles", step.cycles);
+      w.field("stall_fraction", step.stallFraction);
+      w.field("accepted", step.accepted);
+    }
+    w.endObject();
+  }
+  w.endArray();
+  w.key("best_metrics");
+  bestEval.metrics.writeJson(w);
+  w.endObject();
+  out << "\n";
+}
 
 ExplorationDriver::Result ExplorationDriver::run(
     const Candidate& initial, const Generator& generate,
@@ -18,7 +50,9 @@ ExplorationDriver::Result ExplorationDriver::run(
   result.history.push_back({0, initial.name, bestObj,
                             result.bestEval.runtimeUs(),
                             result.bestEval.dieSizeGridCells,
-                            result.bestEval.cycles, true, false});
+                            result.bestEval.cycles,
+                            result.bestEval.metrics.stallFraction(), true,
+                            false});
 
   for (unsigned iter = 1; iter <= maxIterations; ++iter) {
     std::vector<Candidate> neighbours =
@@ -43,6 +77,7 @@ ExplorationDriver::Result ExplorationDriver::run(
       step.runtimeUs = ev.runtimeUs();
       step.dieSize = ev.dieSizeGridCells;
       step.cycles = ev.cycles;
+      step.stallFraction = ev.metrics.stallFraction();
       if (step.objective < bestNeighbourObj) {
         bestNeighbourObj = step.objective;
         bestNeighbour = cand;

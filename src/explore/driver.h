@@ -7,6 +7,7 @@
 #define ISDL_EXPLORE_DRIVER_H
 
 #include <functional>
+#include <iosfwd>
 #include <vector>
 
 #include "explore/evaluate.h"
@@ -37,8 +38,9 @@ class ExplorationDriver {
     double runtimeUs = 0;
     double dieSize = 0;
     std::uint64_t cycles = 0;
-    bool accepted = false;  ///< became the new best
-    bool failed = false;    ///< evaluation error (recorded, skipped)
+    double stallFraction = 0;  ///< from the candidate's metrics report
+    bool accepted = false;     ///< became the new best
+    bool failed = false;       ///< evaluation error (recorded, skipped)
   };
 
   struct Result {
@@ -46,6 +48,11 @@ class ExplorationDriver {
     Evaluation bestEval;
     std::vector<Step> history;
     unsigned iterations = 0;
+
+    /// The exploration summary as JSON: every step of the trajectory plus
+    /// the winning candidate's full XTRACE metrics report (same schema the
+    /// CLI `profile` command dumps — see docs/OBSERVABILITY.md).
+    void writeJson(std::ostream& out) const;
   };
 
   explicit ExplorationDriver(EvaluateOptions options = {})
@@ -56,6 +63,13 @@ class ExplorationDriver {
 
   static double areaDelayObjective(const Evaluation& ev) {
     return ev.areaDelay();
+  }
+
+  /// Area-delay weighted by how much of the runtime is stall bubbles: of two
+  /// equal-cost candidates, prefer the one whose cycles do useful work
+  /// (consumes the evaluation's XTRACE metrics report).
+  static double stallAwareObjective(const Evaluation& ev) {
+    return ev.areaDelay() * (1.0 + ev.metrics.stallFraction());
   }
 
  private:

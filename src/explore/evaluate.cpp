@@ -14,6 +14,7 @@ Evaluation evaluate(const Machine& machine, const std::string& appSource,
   try {
     // --- ILS path: compile + execute the application ----------------------
     sim::Xsim xsim(machine);
+    xsim.enableProfile();  // storage heatmaps land in ev.metrics
     sim::Assembler assembler(xsim.signatures());
     DiagnosticEngine diags;
     auto prog = assembler.assemble(appSource, diags);
@@ -26,7 +27,10 @@ Evaluation evaluate(const Machine& machine, const std::string& appSource,
       ev.error = "load failed: " + loadErr;
       return ev;
     }
-    sim::RunResult r = xsim.run(options.maxCycles);
+    sim::RunResult r = [&] {
+      obs::ScopedTimer t = xsim.registry().time("eval/sim_ns");
+      return xsim.run(options.maxCycles);
+    }();
     if (r.reason != sim::StopReason::Halted) {
       ev.error = std::string("application did not halt: ") +
                  sim::stopReasonName(r.reason) + " " + r.message;
@@ -40,10 +44,14 @@ Evaluation evaluate(const Machine& machine, const std::string& appSource,
     ev.stats = xsim.stats();
 
     // --- hardware path: cycle length + physical costs ----------------------
-    hw::HgenOutput hgen = hw::runHgen(machine, xsim.signatures());
+    hw::HgenOutput hgen = [&] {
+      obs::ScopedTimer t = xsim.registry().time("eval/hgen_ns");
+      return hw::runHgen(machine, xsim.signatures());
+    }();
     ev.cycleNs = hgen.stats.cycleNs;
     ev.dieSizeGridCells = hgen.stats.dieSizeGridCells;
     ev.verilogLines = hgen.stats.verilogLines;
+    ev.metrics = xsim.metricsReport();
 
     if (options.measurePower) {
       synth::GateSim gs(hgen.model.netlist);

@@ -11,6 +11,7 @@
 #include <string>
 
 #include "isdl/model.h"
+#include "obs/metrics.h"
 #include "sim/xsim.h"
 
 namespace isdl::explore {
@@ -33,6 +34,10 @@ struct Evaluation {
   std::uint64_t dataStallCycles = 0;
   std::uint64_t structStallCycles = 0;
   sim::Stats stats;
+  /// Structured XTRACE report for this run: stall attribution by producer,
+  /// per-op issue counts, storage heatmaps, eval-phase timers. The scoring
+  /// function and the exploration summary consume this (see driver.h).
+  obs::MetricsReport metrics;
 
   // From the hardware model (physical costs, Figure 1's left path):
   double cycleNs = 0;

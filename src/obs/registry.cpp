@@ -1,0 +1,39 @@
+#include "obs/registry.h"
+
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace isdl::obs {
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = byName_.find(name);
+  if (it != byName_.end()) return *it->second;
+  cells_.emplace_back();
+  Counter* cell = &cells_.back();
+  byName_.emplace(std::string(name), cell);
+  return *cell;
+}
+
+std::vector<std::pair<std::string, std::uint64_t>> Registry::snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  out.reserve(byName_.size());
+  for (const auto& [name, cell] : byName_) out.emplace_back(name, cell->get());
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& cell : cells_) cell.set(0);
+}
+
+void Registry::writeJson(std::ostream& out, bool pretty) const {
+  JsonWriter w(out, pretty);
+  w.beginObject();
+  for (const auto& [name, value] : snapshot()) w.field(name, value);
+  w.endObject();
+}
+
+}  // namespace isdl::obs

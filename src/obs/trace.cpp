@@ -1,0 +1,112 @@
+#include "obs/trace.h"
+
+#include <ostream>
+
+#include "obs/json.h"
+
+namespace isdl::obs {
+
+TraceBuffer::TraceBuffer(std::size_t capacity)
+    : events_(capacity ? capacity : 1) {}
+
+void TraceBuffer::clear() {
+  head_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+}
+
+namespace {
+
+const std::string& nameOr(const std::vector<std::string>& names,
+                          std::size_t i, const std::string& fallback) {
+  return i < names.size() ? names[i] : fallback;
+}
+
+}  // namespace
+
+void writeChromeTrace(std::ostream& out, const TraceBuffer& buf,
+                      const NameTable& names) {
+  static const std::string kUnknown = "?";
+  JsonWriter w(out, /*pretty=*/false);
+  w.beginObject();
+  w.key("displayTimeUnit").value("ms");
+  w.key("traceEvents").beginArray();
+
+  auto meta = [&](int pid, int tid, std::string_view what,
+                  std::string_view name) {
+    w.beginObject();
+    w.field("name", what).field("ph", "M").field("pid", pid).field("tid", tid);
+    w.key("args").beginObject().field("name", name).endObject();
+    w.endObject();
+  };
+
+  // Row layout: pid 0 = the core (one tid per field + one stall row),
+  // pid 1 = storage write-backs (one tid per storage).
+  meta(0, -1, "process_name", names.machine.empty() ? "core" : names.machine);
+  for (std::size_t f = 0; f < names.fields.size(); ++f)
+    meta(0, static_cast<int>(f), "thread_name", "field " + names.fields[f]);
+  const int stallTid = static_cast<int>(names.fields.size());
+  meta(0, stallTid, "thread_name", "stalls");
+  meta(1, -1, "process_name", "storage write-backs");
+  for (std::size_t s = 0; s < names.storages.size(); ++s)
+    meta(1, static_cast<int>(s), "thread_name", names.storages[s]);
+
+  buf.forEach([&](const TraceEvent& e) {
+    w.beginObject();
+    switch (e.kind) {
+      case EventKind::Issue: {
+        static const std::vector<std::string> kNoOps;
+        const auto& ops =
+            e.field < names.ops.size() ? names.ops[e.field] : kNoOps;
+        w.field("name", nameOr(ops, e.op, kUnknown));
+        w.field("cat", "issue").field("ph", "X");
+        w.field("ts", e.cycle).field("dur", std::uint64_t{e.dur});
+        w.field("pid", 0).field("tid", int(e.field));
+        w.key("args").beginObject().field("addr", e.addr).endObject();
+        break;
+      }
+      case EventKind::DataStall: {
+        w.field("name",
+                "data stall (" +
+                    nameOr(names.storages, e.storage, kUnknown) + ")");
+        w.field("cat", "stall").field("ph", "X");
+        w.field("ts", e.cycle).field("dur", std::uint64_t{e.dur});
+        w.field("pid", 0).field("tid", stallTid);
+        w.key("args")
+            .beginObject()
+            .field("producer", nameOr(names.storages, e.storage, kUnknown))
+            .endObject();
+        break;
+      }
+      case EventKind::StructStall: {
+        w.field("name",
+                "struct stall (" +
+                    nameOr(names.fields, e.field, kUnknown) + ")");
+        w.field("cat", "stall").field("ph", "X");
+        w.field("ts", e.cycle).field("dur", std::uint64_t{e.dur});
+        w.field("pid", 0).field("tid", stallTid);
+        w.key("args")
+            .beginObject()
+            .field("busy_field", nameOr(names.fields, e.field, kUnknown))
+            .endObject();
+        break;
+      }
+      case EventKind::WriteBack: {
+        w.field("name", nameOr(names.storages, e.storage, kUnknown) + "[" +
+                            std::to_string(e.elem) + "]");
+        w.field("cat", "writeback").field("ph", "i").field("s", "t");
+        w.field("ts", e.cycle);
+        w.field("pid", 1).field("tid", int(e.storage));
+        break;
+      }
+    }
+    w.endObject();
+  });
+
+  w.endArray();
+  w.field("droppedEvents", buf.dropped());
+  w.endObject();
+  out << "\n";
+}
+
+}  // namespace isdl::obs

@@ -1,0 +1,94 @@
+// XTRACE event tracer: a bounded ring buffer of fixed-size per-instruction
+// events (issue, write-back, stall attribution) recorded by the simulator
+// core. The buffer is allocated only when tracing is enabled; the core holds
+// a nullable pointer, so a disabled trace costs one predictable branch per
+// instrumentation site. When the ring fills, the oldest events are
+// overwritten (and counted), so a trace of the *end* of a long run is always
+// available — the usual thing one wants when a program misbehaves.
+//
+// The exporter emits Chrome trace-event JSON (the `chrome://tracing` /
+// Perfetto "JSON Array Format"): one timeline row ("tid") per VLIW field,
+// issue slots as complete ("X") events with the architectural cycle as the
+// microsecond timestamp, stalls as complete events attributed to their
+// producer, and write-backs as instant ("i") events on the storage row.
+
+#ifndef ISDL_OBS_TRACE_H
+#define ISDL_OBS_TRACE_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace isdl::obs {
+
+enum class EventKind : std::uint8_t {
+  Issue,        ///< one field executed one operation
+  WriteBack,    ///< a staged write retired to architectural state
+  DataStall,    ///< RAW interlock bubble; `storage` is the producer location
+  StructStall,  ///< busy-functional-unit bubble; `field` is the busy unit
+};
+
+struct TraceEvent {
+  EventKind kind = EventKind::Issue;
+  std::uint16_t field = 0;   ///< issuing/busy field (Issue, StructStall)
+  std::uint32_t op = 0;      ///< operation index within the field (Issue)
+  std::uint32_t storage = 0; ///< storage index (WriteBack, DataStall)
+  std::uint64_t elem = 0;    ///< storage element (WriteBack)
+  std::uint64_t cycle = 0;   ///< start cycle
+  std::uint32_t dur = 1;     ///< duration in cycles
+  std::uint64_t addr = 0;    ///< instruction-memory address (Issue)
+};
+
+class TraceBuffer {
+ public:
+  explicit TraceBuffer(std::size_t capacity = 1 << 16);
+
+  void record(const TraceEvent& e) {
+    events_[head_] = e;
+    if (++head_ == events_.size()) head_ = 0;
+    if (size_ < events_.size())
+      ++size_;
+    else
+      ++dropped_;
+  }
+
+  std::size_t size() const { return size_; }
+  std::size_t capacity() const { return events_.size(); }
+  /// Events overwritten because the ring was full.
+  std::uint64_t dropped() const { return dropped_; }
+  void clear();
+
+  /// Visits retained events oldest-first.
+  template <typename Fn>
+  void forEach(Fn&& fn) const {
+    std::size_t start = (head_ + events_.size() - size_) % events_.size();
+    for (std::size_t i = 0; i < size_; ++i)
+      fn(events_[(start + i) % events_.size()]);
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// Names needed to render numeric event ids; filled by the simulator from
+/// its Machine so obs stays independent of the ISDL model.
+struct NameTable {
+  std::string machine;
+  std::vector<std::string> fields;
+  std::vector<std::vector<std::string>> ops;  ///< [field][opIndex]
+  std::vector<std::string> storages;
+};
+
+/// Writes the buffer as Chrome trace-event JSON (loadable in
+/// chrome://tracing and https://ui.perfetto.dev). One simulated cycle maps
+/// to one microsecond of trace time.
+void writeChromeTrace(std::ostream& out, const TraceBuffer& buf,
+                      const NameTable& names);
+
+}  // namespace isdl::obs
+
+#endif  // ISDL_OBS_TRACE_H

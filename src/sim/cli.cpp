@@ -32,9 +32,46 @@ Cli::Cli(Xsim& sim, std::ostream& out)
 }
 
 Cli::~Cli() {
+  flushObservability();
   for (int h : monitorHandles_) sim_.monitors().remove(h);
   sim_.setBreakpointHook(nullptr);
   sim_.setTraceCallback(nullptr);
+}
+
+void Cli::stopChromeTrace() {
+  std::ofstream out(chromeTracePath_);
+  if (!out) {
+    error(cat("cannot open '", chromeTracePath_, "'"));
+  } else {
+    sim_.writeChromeTrace(out);
+    const obs::TraceBuffer* buf = sim_.trace();
+    out_ << "wrote " << (buf ? buf->size() : 0) << " events to "
+         << chromeTracePath_ << "\n";
+  }
+  chromeTracePath_.clear();
+  sim_.disableTrace();
+}
+
+void Cli::dumpProfile(const std::string& path) {
+  if (path.empty()) {
+    sim_.writeMetricsJson(out_);
+    return;
+  }
+  std::ofstream out(path);
+  if (!out) {
+    error(cat("cannot open '", path, "'"));
+    return;
+  }
+  sim_.writeMetricsJson(out);
+  out_ << "wrote metrics to " << path << "\n";
+}
+
+void Cli::flushObservability() {
+  if (!chromeTracePath_.empty()) stopChromeTrace();
+  if (!profilePath_.empty()) {
+    dumpProfile(profilePath_);
+    profilePath_.clear();
+  }
 }
 
 void Cli::error(const std::string& message) {
@@ -90,6 +127,14 @@ void Cli::printStats() {
            << s.opCount[f][o] << "\n";
     }
   }
+  for (std::size_t si = 0; si < m.storages.size(); ++si)
+    if (s.dataStallsByStorage[si])
+      out_ << "  data stalls on " << m.storages[si].name << " "
+           << s.dataStallsByStorage[si] << "\n";
+  for (std::size_t f = 0; f < m.fields.size(); ++f)
+    if (s.structStallsByField[f])
+      out_ << "  struct stalls on " << m.fields[f].name << " "
+           << s.structStallsByField[f] << "\n";
 }
 
 bool Cli::execute(const std::string& line) {
@@ -98,7 +143,10 @@ bool Cli::execute(const std::string& line) {
   const std::string& cmd = w[0];
   const Machine& m = sim_.machine();
 
-  if (cmd == "quit") return false;
+  if (cmd == "quit") {
+    flushObservability();
+    return false;
+  }
 
   if (cmd == "echo") {
     for (std::size_t i = 1; i < w.size(); ++i)
@@ -256,6 +304,26 @@ bool Cli::execute(const std::string& line) {
   }
 
   if (cmd == "trace") {
+    if (w.size() > 1 && w[1] == "start") {
+      if (w.size() < 3) {
+        error("trace start needs a file name");
+        return true;
+      }
+      if (!chromeTracePath_.empty()) stopChromeTrace();
+      sim_.enableTrace();
+      chromeTracePath_ = w[2];
+      out_ << "event tracing to " << chromeTracePath_
+           << " (Chrome trace-event JSON; stop with 'trace stop')\n";
+      return true;
+    }
+    if (w.size() > 1 && w[1] == "stop") {
+      if (chromeTracePath_.empty()) {
+        error("no event trace is active (start one with 'trace start')");
+        return true;
+      }
+      stopChromeTrace();
+      return true;
+    }
     if (w.size() > 1 && w[1] == "off") {
       sim_.setTraceCallback(nullptr);
       traceFile_.reset();
@@ -278,6 +346,27 @@ bool Cli::execute(const std::string& line) {
 
   if (cmd == "stats") {
     printStats();
+    return true;
+  }
+
+  if (cmd == "profile") {
+    if (w.size() > 1 && w[1] == "off") {
+      sim_.disableProfile();
+      profilePath_.clear();
+      return true;
+    }
+    if (w.size() > 1 && w[1] == "dump") {
+      dumpProfile(w.size() > 2 ? w[2] : std::string());
+      return true;
+    }
+    sim_.enableProfile();
+    if (w.size() > 1) {
+      profilePath_ = w[1];
+      out_ << "profiling enabled; metrics dumped to " << profilePath_
+           << " on exit\n";
+    } else {
+      out_ << "profiling enabled (dump with 'profile dump [file]')\n";
+    }
     return true;
   }
 

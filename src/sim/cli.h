@@ -16,7 +16,15 @@
 //   disasm <addr> [count]      disassemble from an address
 //   monitor <storage> [index]  print every change of the given state
 //   trace <file>|off           write the execution address trace to a file
+//   trace start <file>         record issue/stall/write-back events; written
+//                              as Chrome trace-event JSON (chrome://tracing,
+//                              Perfetto) by `trace stop` or on exit
+//   trace stop                 stop recording and write the trace file
 //   stats                      cycle/instruction/stall/utilization report
+//   profile [<file>]           enable heatmap profiling; with a file, the
+//                              metrics JSON is dumped there on exit
+//   profile dump [<file>]      write the metrics JSON now (default: stdout)
+//   profile off                disable profiling
 //   reset                      reset state and reload the program
 //   echo <text>                print text
 //   # comment / ; comment
@@ -57,12 +65,18 @@ class Cli {
   std::map<std::uint64_t, std::string> attachedCommands_;
   std::vector<int> monitorHandles_;
   std::unique_ptr<std::ofstream> traceFile_;
+  std::string chromeTracePath_;  ///< armed by `trace start`, empty when off
+  std::string profilePath_;     ///< armed by `profile <file>`, dumped on exit
 
   void error(const std::string& message);
   bool parseStorageRef(const std::vector<std::string>& words, std::size_t at,
                        int& storageIndex, std::uint64_t& element,
                        std::size_t& consumed);
   void printStats();
+  void stopChromeTrace();
+  void dumpProfile(const std::string& path);
+  /// Dump-on-exit: flushes an armed Chrome trace and/or profile dump.
+  void flushObservability();
 };
 
 }  // namespace isdl::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "support/strings.h"
 
 namespace isdl::sim {
@@ -65,6 +67,7 @@ void ExecEngine::reset() {
 }
 
 BitVector ExecEngine::readLoc(unsigned si, std::uint64_t elem) const {
+  if (heat_) heat_->countRead(si, elem);
   BitVector v = state_.read(si, elem);
   for (const auto& p : pending_) {
     if (p.si != si || p.elem != elem) continue;
@@ -81,7 +84,10 @@ BitVector ExecEngine::readLoc(unsigned si, std::uint64_t elem) const {
       v = p.hasSlice ? v.withSlice(p.hi, p.lo, p.value) : p.value;
     } else {
       std::uint64_t needed = p.commitCycle + 1 - cycle_;
-      requiredStall_ = std::max(requiredStall_, needed);
+      if (needed > requiredStall_) {
+        requiredStall_ = needed;
+        stallStorage_ = p.si;  // the producer the interlock waits on
+      }
     }
   }
   return v;
@@ -103,6 +109,15 @@ void ExecEngine::commitUpTo(std::uint64_t cycleInclusive) {
       state_.writeSlice(p.si, p.elem, p.hi, p.lo, p.value, p.commitCycle);
     else
       state_.write(p.si, p.elem, p.value, p.commitCycle);
+    if (trace_)
+      trace_->record({.kind = obs::EventKind::WriteBack,
+                      .field = 0,
+                      .op = 0,
+                      .storage = p.si,
+                      .elem = p.elem,
+                      .cycle = p.commitCycle,
+                      .dur = 1,
+                      .addr = p.instrId});
     if (static_cast<int>(p.si) == machine_.pcIndex) pcCommitted_ = true;
   }
   pending_.erase(pending_.begin(), pending_.begin() + i);
@@ -220,10 +235,25 @@ ExecEngine::IssueInfo ExecEngine::issue(const DecodedInstruction& inst) {
   // Structural hazards: every functional unit the instruction touches must
   // be free (Usage timing, paper §2.1.3).
   std::uint64_t busy = cycle_;
+  std::size_t busiestField = 0;
   for (std::size_t f = 0; f < inst.ops.size(); ++f)
-    busy = std::max(busy, fieldBusyUntil_[f]);
+    if (fieldBusyUntil_[f] > busy) {
+      busy = fieldBusyUntil_[f];
+      busiestField = f;
+    }
   if (busy > cycle_) {
     info.structStallCycles = busy - cycle_;
+    if (statsSink_)
+      statsSink_->structStallsByField[busiestField] += busy - cycle_;
+    if (trace_)
+      trace_->record({.kind = obs::EventKind::StructStall,
+                      .field = static_cast<std::uint16_t>(busiestField),
+                      .op = 0,
+                      .storage = 0,
+                      .elem = 0,
+                      .cycle = cycle_,
+                      .dur = static_cast<std::uint32_t>(busy - cycle_),
+                      .addr = inst.address});
     advanceTo(busy);
   }
 
@@ -245,6 +275,17 @@ ExecEngine::IssueInfo ExecEngine::issue(const DecodedInstruction& inst) {
       }
       if (requiredStall_ == 0) break;
       info.dataStallCycles += requiredStall_;
+      if (statsSink_)
+        statsSink_->dataStallsByStorage[stallStorage_] += requiredStall_;
+      if (trace_)
+        trace_->record({.kind = obs::EventKind::DataStall,
+                        .field = 0,
+                        .op = 0,
+                        .storage = stallStorage_,
+                        .elem = 0,
+                        .cycle = cycle_,
+                        .dur = static_cast<std::uint32_t>(requiredStall_),
+                        .addr = inst.address});
       stagedLocal_.clear();
       advanceTo(cycle_ + requiredStall_);
     }
@@ -269,6 +310,23 @@ ExecEngine::IssueInfo ExecEngine::issue(const DecodedInstruction& inst) {
     info.ok = false;
     info.error = e.what();
     return info;
+  }
+
+  // Record issue slots (nop slots are elided — an idle field is visible as
+  // a gap in its trace row).
+  if (trace_) {
+    for (std::size_t f = 0; f < inst.ops.size(); ++f) {
+      if (static_cast<int>(inst.ops[f].opIndex) == machine_.fields[f].nopIndex)
+        continue;
+      trace_->record({.kind = obs::EventKind::Issue,
+                      .field = static_cast<std::uint16_t>(f),
+                      .op = inst.ops[f].opIndex,
+                      .storage = 0,
+                      .elem = 0,
+                      .cycle = cycle_,
+                      .dur = inst.cycles,
+                      .addr = inst.address});
+    }
   }
 
   // Occupy functional units.

@@ -24,6 +24,12 @@
 
 #include "sim/decoded.h"
 #include "sim/state.h"
+#include "sim/stats.h"
+
+namespace isdl::obs {
+class TraceBuffer;
+struct StorageHeatmap;
+}  // namespace isdl::obs
 
 namespace isdl::sim {
 
@@ -54,6 +60,16 @@ class ExecEngine {
 
   void reset();
 
+  // --- XTRACE hooks (all nullable; a disabled hook costs one branch) --------
+  /// Ring buffer receiving issue/stall/write-back events.
+  void setTrace(obs::TraceBuffer* trace) { trace_ = trace; }
+  /// Heatmap receiving one countRead per architectural read the core
+  /// performs (the write side layers on Monitors, see Xsim::enableProfile).
+  void setHeatmap(obs::StorageHeatmap* heat) { heat_ = heat; }
+  /// Stats whose stall-attribution vectors the engine fills (sized by the
+  /// owner; the aggregate counters stay owned by the scheduler).
+  void setStatsSink(Stats* stats) { statsSink_ = stats; }
+
  private:
   struct Pending {
     unsigned si = 0;
@@ -78,8 +94,14 @@ class ExecEngine {
 
   // Per-issue evaluation state.
   mutable std::uint64_t requiredStall_ = 0;
+  mutable unsigned stallStorage_ = 0;  ///< producer of the largest stall
   bool phaseB_ = false;
   std::vector<Pending> stagedLocal_;
+
+  // XTRACE observers (null when disabled).
+  obs::TraceBuffer* trace_ = nullptr;
+  obs::StorageHeatmap* heat_ = nullptr;
+  Stats* statsSink_ = nullptr;
 
   class OpContext;
   struct ResolvedLv {

@@ -18,6 +18,7 @@ void Monitors::remove(int handle) {
 }
 
 void Monitors::fire(const WriteEvent& event) const {
+  if (observer_) observer_(event);
   for (const auto& w : watches_) {
     if (w.storageIndex != event.storageIndex) continue;
     if (w.element && *w.element != event.element) continue;

@@ -38,7 +38,12 @@ class Monitors {
   int add(unsigned storageIndex, std::optional<std::uint64_t> element,
           Callback callback);
   void remove(int handle);
-  bool empty() const { return watches_.empty(); }
+  bool empty() const { return watches_.empty() && !observer_; }
+
+  /// Global observer fired on every value-changing write of any storage,
+  /// before the per-location watches — the hook the XTRACE storage heatmap
+  /// layers on. Pass nullptr to remove.
+  void setWriteObserver(Callback callback) { observer_ = std::move(callback); }
 
   void fire(const WriteEvent& event) const;
 
@@ -50,6 +55,7 @@ class Monitors {
     Callback callback;
   };
   std::vector<Watch> watches_;
+  Callback observer_;
   int nextHandle_ = 1;
 };
 

@@ -1,0 +1,33 @@
+// Execution statistics — the "performance measurements and utilization
+// statistics" of the paper's exploration loop (Figure 1). Split out of
+// xsim.h so the processing core can attribute stalls into the same struct
+// the scheduler aggregates into (XTRACE instrumentation).
+
+#ifndef ISDL_SIM_STATS_H
+#define ISDL_SIM_STATS_H
+
+#include <cstdint>
+#include <vector>
+
+namespace isdl::sim {
+
+struct Stats {
+  std::uint64_t cycles = 0;
+  std::uint64_t instructions = 0;
+  std::uint64_t dataStallCycles = 0;
+  std::uint64_t structStallCycles = 0;
+  /// opCount[field][op] = number of times the operation issued.
+  std::vector<std::vector<std::uint64_t>> opCount;
+  /// Instructions in which the field executed something other than its nop.
+  std::vector<std::uint64_t> fieldUtilization;
+  /// RAW interlock cycles attributed to the storage whose in-flight write
+  /// forced the stall (indexed by storage).
+  std::vector<std::uint64_t> dataStallsByStorage;
+  /// Structural-hazard cycles attributed to the busiest functional unit
+  /// (indexed by field).
+  std::vector<std::uint64_t> structStallsByField;
+};
+
+}  // namespace isdl::sim
+
+#endif  // ISDL_SIM_STATS_H

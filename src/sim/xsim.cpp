@@ -23,6 +23,7 @@ Xsim::Xsim(const Machine& machine)
       disasm_(sigs_),
       state_(machine),
       engine_(machine, state_) {
+  engine_.setStatsSink(&stats_);
   if (!sigs_.valid())
     throw IsdlError("assembly function is not decodeable:\n" +
                     sigDiags_.dump());
@@ -59,6 +60,10 @@ void Xsim::initStats() {
   for (const auto& field : machine_->fields)
     stats_.opCount.emplace_back(field.operations.size(), 0);
   stats_.fieldUtilization.assign(machine_->fields.size(), 0);
+  stats_.dataStallsByStorage.assign(machine_->storages.size(), 0);
+  stats_.structStallsByField.assign(machine_->fields.size(), 0);
+  if (traceBuf_) traceBuf_->clear();
+  if (profiling_) heat_.clear();
 }
 
 bool Xsim::loadProgram(const AssembledProgram& prog, std::string* error) {
@@ -167,6 +172,8 @@ std::optional<RunResult> Xsim::executeOne() {
 }
 
 RunResult Xsim::run(std::uint64_t maxCycles) {
+  ++registry_.counter("sim/runs");
+  obs::ScopedTimer timer = registry_.time("sim/run_ns");
   bool first = true;
   for (;;) {
     if (engine_.cycle() >= maxCycles)
@@ -187,6 +194,104 @@ RunResult Xsim::step(std::uint64_t n) {
     if (auto stop = executeOne()) return *stop;
   }
   return {StopReason::MaxInstructions, {}};
+}
+
+// --- XTRACE observability ----------------------------------------------------
+
+void Xsim::enableTrace(std::size_t capacity) {
+  traceBuf_ = std::make_unique<obs::TraceBuffer>(capacity);
+  engine_.setTrace(traceBuf_.get());
+}
+
+void Xsim::disableTrace() {
+  engine_.setTrace(nullptr);
+  traceBuf_.reset();
+}
+
+void Xsim::writeChromeTrace(std::ostream& out) const {
+  if (traceBuf_) {
+    obs::writeChromeTrace(out, *traceBuf_, nameTable());
+  } else {
+    obs::TraceBuffer empty(1);
+    obs::writeChromeTrace(out, empty, nameTable());
+  }
+}
+
+void Xsim::enableProfile() {
+  if (profiling_) return;
+  std::vector<std::uint64_t> depths;
+  depths.reserve(machine_->storages.size());
+  for (const auto& st : machine_->storages) depths.push_back(st.depth);
+  heat_.configure(depths);
+  engine_.setHeatmap(&heat_);
+  // Write side rides the monitor hook: every value-changing commit of any
+  // storage lands here (reads are counted inside the core).
+  state_.monitors().setWriteObserver([this](const WriteEvent& ev) {
+    heat_.countWrite(ev.storageIndex, ev.element);
+  });
+  profiling_ = true;
+}
+
+void Xsim::disableProfile() {
+  if (!profiling_) return;
+  engine_.setHeatmap(nullptr);
+  state_.monitors().setWriteObserver(nullptr);
+  profiling_ = false;
+}
+
+obs::NameTable Xsim::nameTable() const {
+  obs::NameTable names;
+  names.machine = machine_->name;
+  for (const auto& field : machine_->fields) {
+    names.fields.push_back(field.name);
+    names.ops.emplace_back();
+    for (const auto& op : field.operations) names.ops.back().push_back(op.name);
+  }
+  for (const auto& st : machine_->storages) names.storages.push_back(st.name);
+  return names;
+}
+
+obs::MetricsReport Xsim::metricsReport() const {
+  obs::MetricsReport r;
+  r.arch = machine_->name;
+  r.cycles = stats_.cycles;
+  r.instructions = stats_.instructions;
+  r.dataStallCycles = stats_.dataStallCycles;
+  r.structStallCycles = stats_.structStallCycles;
+
+  for (std::size_t f = 0; f < machine_->fields.size(); ++f) {
+    const Field& field = machine_->fields[f];
+    r.utilization.push_back({field.name, stats_.fieldUtilization[f]});
+    for (std::size_t o = 0; o < field.operations.size(); ++o)
+      if (stats_.opCount[f][o])
+        r.opCounts.push_back(
+            {field.name, field.operations[o].name, stats_.opCount[f][o]});
+    if (stats_.structStallsByField[f])
+      r.structStallsByField.push_back(
+          {field.name, stats_.structStallsByField[f]});
+  }
+  for (std::size_t si = 0; si < machine_->storages.size(); ++si)
+    if (stats_.dataStallsByStorage[si])
+      r.dataStallsByProducer.push_back(
+          {machine_->storages[si].name, stats_.dataStallsByStorage[si]});
+
+  if (profiling_) {
+    for (std::size_t si = 0; si < machine_->storages.size(); ++si) {
+      bool any = false;
+      for (std::uint64_t c : heat_.reads[si]) any = any || c;
+      for (std::uint64_t c : heat_.writes[si]) any = any || c;
+      if (!any) continue;
+      r.heatmaps.push_back(
+          {machine_->storages[si].name, heat_.reads[si], heat_.writes[si]});
+    }
+  }
+
+  r.counters = registry_.snapshot();
+  return r;
+}
+
+void Xsim::writeMetricsJson(std::ostream& out) const {
+  metricsReport().writeJson(out);
 }
 
 }  // namespace isdl::sim

@@ -22,11 +22,15 @@
 #include <memory>
 #include <set>
 
+#include "obs/metrics.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "sim/assembler.h"
 #include "sim/core.h"
 #include "sim/disasm.h"
 #include "sim/signature.h"
 #include "sim/state.h"
+#include "sim/stats.h"
 
 namespace isdl::sim {
 
@@ -46,19 +50,6 @@ const char* stopReasonName(StopReason r);
 struct RunResult {
   StopReason reason = StopReason::MaxCycles;
   std::string message;  ///< details for error reasons
-};
-
-/// Execution statistics — the "performance measurements and utilization
-/// statistics" of the paper's exploration loop (Figure 1).
-struct Stats {
-  std::uint64_t cycles = 0;
-  std::uint64_t instructions = 0;
-  std::uint64_t dataStallCycles = 0;
-  std::uint64_t structStallCycles = 0;
-  /// opCount[field][op] = number of times the operation issued.
-  std::vector<std::vector<std::uint64_t>> opCount;
-  /// Instructions in which the field executed something other than its nop.
-  std::vector<std::uint64_t> fieldUtilization;
 };
 
 class Xsim {
@@ -109,6 +100,34 @@ class Xsim {
   const Stats& stats() const { return stats_; }
   std::uint64_t cycle() const { return engine_.cycle(); }
 
+  // --- XTRACE observability (paper Figure 1's measurement edge) -------------
+  /// Starts recording issue/stall/write-back events into a bounded ring
+  /// buffer (oldest events are overwritten when it fills). Zero per-cycle
+  /// cost while disabled.
+  void enableTrace(std::size_t capacity = 1 << 16);
+  void disableTrace();
+  const obs::TraceBuffer* trace() const { return traceBuf_.get(); }
+  /// Exports the recorded trace as Chrome trace-event JSON (loadable in
+  /// chrome://tracing / Perfetto); an empty trace if tracing is off.
+  void writeChromeTrace(std::ostream& out) const;
+
+  /// Enables per-storage access heatmaps: reads counted in the core, writes
+  /// layered on the Monitors write observer. Cleared by loadProgram/reset.
+  void enableProfile();
+  void disableProfile();
+  bool profiling() const { return profiling_; }
+
+  /// Counter/timer registry; "sim/runs" and "sim/run_ns" are maintained by
+  /// run() itself, callers may add their own (see obs/registry.h).
+  obs::Registry& registry() { return registry_; }
+
+  /// Field/op/storage names for obs exporters.
+  obs::NameTable nameTable() const;
+  /// The structured metrics report for everything since the last load:
+  /// cycles, per-op issue counts, stall attribution, heatmaps, counters.
+  obs::MetricsReport metricsReport() const;
+  void writeMetricsJson(std::ostream& out) const;
+
   /// Commits in-flight delayed writes (call before inspecting final state).
   void drainPipeline() { engine_.drain(); }
 
@@ -127,6 +146,10 @@ class Xsim {
   std::function<void(std::uint64_t)> breakpointHook_;
   std::function<void(std::uint64_t)> trace_;
   Stats stats_;
+  obs::Registry registry_;
+  std::unique_ptr<obs::TraceBuffer> traceBuf_;
+  obs::StorageHeatmap heat_;
+  bool profiling_ = false;
   int haltField_ = -1;
   int haltOp_ = -1;
   bool warnedSelfModify_ = false;
