@@ -92,9 +92,12 @@ inline std::pair<std::uint64_t, double> timeLoop(
 }
 
 /// XSIM simulation speed in architectural cycles per second on `source`.
+/// `uop` selects the micro-op compiled core (default) or the tree-walking
+/// interpreter fallback (sim/uop.h) — Table 1 reports both.
 inline double xsimCyclesPerSec(const Machine& machine, const char* source,
-                               std::uint64_t maxCycles) {
+                               std::uint64_t maxCycles, bool uop = true) {
   sim::Xsim xsim(machine);
+  xsim.setUopEnabled(uop);
   sim::AssembledProgram prog = assembleOrDie(xsim.signatures(), source);
   std::string err;
   if (!xsim.loadProgram(prog, &err)) throw IsdlError(err);

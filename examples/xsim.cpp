@@ -4,7 +4,11 @@
 //
 // Usage:
 //   xsim (--arch spam|spam2|srep|tdsp | --isdl FILE) [--asm FILE]
-//        [--script FILE | --run] [--dump-isdl]
+//        [--script FILE | --run] [--dump-isdl] [--no-uop]
+//
+// --no-uop falls back from the micro-op compiled core to the tree-walking
+// interpreter (same results, slower; see src/sim/uop.h). Also switchable at
+// run time with the `engine` CLI command.
 //
 // With --script (or on a terminal with neither --script nor --run), commands
 // come from the batch interface (see src/sim/cli.h: run, step, break, x,
@@ -36,7 +40,7 @@ int usage() {
   std::fprintf(stderr,
                "usage: xsim (--arch spam|spam2|srep|tdsp | --isdl FILE)\n"
                "            [--asm FILE] [--script FILE | --run] "
-               "[--dump-isdl]\n");
+               "[--dump-isdl] [--no-uop]\n");
   return 2;
 }
 
@@ -57,6 +61,7 @@ int main(int argc, char** argv) {
   const char* scriptPath = nullptr;
   bool runToHalt = false;
   bool dumpIsdl = false;
+  bool noUop = false;
   for (int i = 1; i < argc; ++i) {
     if (!std::strcmp(argv[i], "--arch") && i + 1 < argc) archName = argv[++i];
     else if (!std::strcmp(argv[i], "--isdl") && i + 1 < argc)
@@ -67,6 +72,7 @@ int main(int argc, char** argv) {
       scriptPath = argv[++i];
     else if (!std::strcmp(argv[i], "--run")) runToHalt = true;
     else if (!std::strcmp(argv[i], "--dump-isdl")) dumpIsdl = true;
+    else if (!std::strcmp(argv[i], "--no-uop")) noUop = true;
     else return usage();
   }
 
@@ -102,6 +108,7 @@ int main(int argc, char** argv) {
   }
 
   sim::Xsim xsim(*machine);
+  if (noUop) xsim.setUopEnabled(false);
   sim::Cli cli(xsim, std::cout);
   std::printf("xsim for machine '%s'\n", machine->name.c_str());
 

@@ -349,6 +349,22 @@ bool Cli::execute(const std::string& line) {
     return true;
   }
 
+  if (cmd == "engine") {
+    if (w.size() > 1 && w[1] == "uop") {
+      sim_.setUopEnabled(true);
+    } else if (w.size() > 1 && w[1] == "interp") {
+      sim_.setUopEnabled(false);
+    } else if (w.size() > 1) {
+      error(cat("unknown engine '", w[1], "' (expected 'uop' or 'interp')"));
+      return true;
+    }
+    out_ << "execution engine: "
+         << (sim_.uopEnabled() ? "uop (micro-op compiled)"
+                               : "interp (tree-walking)")
+         << "\n";
+    return true;
+  }
+
   if (cmd == "profile") {
     if (w.size() > 1 && w[1] == "off") {
       sim_.disableProfile();

@@ -21,6 +21,9 @@
 //                              Perfetto) by `trace stop` or on exit
 //   trace stop                 stop recording and write the trace file
 //   stats                      cycle/instruction/stall/utilization report
+//   engine [uop|interp]        select (or show) the execution engine: the
+//                              micro-op compiled core or the tree-walking
+//                              interpreter (bit-identical, see sim/uop.h)
 //   profile [<file>]           enable heatmap profiling; with a file, the
 //                              metrics JSON is dumped there on exit
 //   profile dump [<file>]      write the metrics JSON now (default: stdout)

@@ -4,6 +4,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "sim/uop.h"
 #include "support/strings.h"
 
 namespace isdl::sim {
@@ -54,10 +55,12 @@ class ExecEngine::OpContext final : public rtl::EvalContext {
 ExecEngine::ExecEngine(const Machine& machine, State& state)
     : machine_(machine),
       state_(state),
+      pendingBySi_(machine.storages.size(), 0),
       fieldBusyUntil_(machine.fields.size(), 0) {}
 
 void ExecEngine::reset() {
   pending_.clear();
+  std::fill(pendingBySi_.begin(), pendingBySi_.end(), 0);
   stagedLocal_.clear();
   std::fill(fieldBusyUntil_.begin(), fieldBusyUntil_.end(), 0);
   cycle_ = 0;
@@ -66,9 +69,12 @@ void ExecEngine::reset() {
   pcCommitted_ = false;
 }
 
-BitVector ExecEngine::readLoc(unsigned si, std::uint64_t elem) const {
+const BitVector& ExecEngine::readLocRef(unsigned si, std::uint64_t elem,
+                                        BitVector& tmp) const {
   if (heat_) heat_->countRead(si, elem);
-  BitVector v = state_.read(si, elem);
+  const BitVector& sv = state_.read(si, elem);
+  if (pendingBySi_[si] == 0) return sv;  // nothing in flight for this storage
+  const BitVector* v = &sv;
   for (const auto& p : pending_) {
     if (p.si != si || p.elem != elem) continue;
     if (phaseB_) {
@@ -77,11 +83,14 @@ BitVector ExecEngine::readLoc(unsigned si, std::uint64_t elem) const {
       // where flag logic computes from operands in parallel with the ALU).
       // Writes still in flight from EARLIER instructions are forwarded:
       // phase A already charged any stall they warranted.
-      if (p.instrId != instrId_)
-        v = p.hasSlice ? v.withSlice(p.hi, p.lo, p.value) : p.value;
+      if (p.instrId != instrId_) {
+        tmp = p.hasSlice ? v->withSlice(p.hi, p.lo, p.value) : p.value;
+        v = &tmp;
+      }
     } else if (p.stallCost == 0 || p.instrId == instrId_) {
       // Full bypass (Stall == 0) and this instruction's own staged values.
-      v = p.hasSlice ? v.withSlice(p.hi, p.lo, p.value) : p.value;
+      tmp = p.hasSlice ? v->withSlice(p.hi, p.lo, p.value) : p.value;
+      v = &tmp;
     } else {
       std::uint64_t needed = p.commitCycle + 1 - cycle_;
       if (needed > requiredStall_) {
@@ -90,21 +99,44 @@ BitVector ExecEngine::readLoc(unsigned si, std::uint64_t elem) const {
       }
     }
   }
-  return v;
+  return *v;
+}
+
+BitVector ExecEngine::readLoc(unsigned si, std::uint64_t elem) const {
+  BitVector tmp;
+  return readLocRef(si, elem, tmp);
+}
+
+void ExecEngine::insertPending(Pending&& p) {
+  // Keep the queue sorted by (commitCycle, seq) — retirement order — so
+  // commitUpTo pops a prefix instead of stable_sorting the whole vector.
+  // seq increases monotonically, so equal commit cycles insert at the end of
+  // their run and later writes win deterministically.
+  ++pendingBySi_[p.si];
+  // Common case: staging order already matches retirement order (equal
+  // latencies), so the new entry appends.
+  if (pending_.empty() || pending_.back().commitCycle <= p.commitCycle) {
+    pending_.push_back(std::move(p));
+    return;
+  }
+  auto it = std::upper_bound(pending_.begin(), pending_.end(), p,
+                             [](const Pending& a, const Pending& b) {
+                               if (a.commitCycle != b.commitCycle)
+                                 return a.commitCycle < b.commitCycle;
+                               return a.seq < b.seq;
+                             });
+  pending_.insert(it, std::move(p));
 }
 
 void ExecEngine::commitUpTo(std::uint64_t cycleInclusive) {
-  // Retire in (commitCycle, seq) order so later writes win deterministically.
-  std::stable_sort(pending_.begin(), pending_.end(),
-                   [](const Pending& a, const Pending& b) {
-                     if (a.commitCycle != b.commitCycle)
-                       return a.commitCycle < b.commitCycle;
-                     return a.seq < b.seq;
-                   });
+  // pending_ is sorted by (commitCycle, seq): retire the due prefix.
+  if (pending_.empty() || pending_.front().commitCycle > cycleInclusive)
+    return;
   std::size_t i = 0;
   for (; i < pending_.size(); ++i) {
     const Pending& p = pending_[i];
     if (p.commitCycle > cycleInclusive) break;
+    --pendingBySi_[p.si];
     if (p.hasSlice)
       state_.writeSlice(p.si, p.elem, p.hi, p.lo, p.value, p.commitCycle);
     else
@@ -150,7 +182,7 @@ void ExecEngine::stageWrite(const ResolvedLv& lv, BitVector value,
   // would resolve the race differently than latency ordering would).
   auto overlaps = [&](const Pending& q) {
     if (q.si != p.si || q.elem != p.elem) return false;
-    unsigned pHi = p.hasSlice ? p.hi : state_.read(p.si, p.elem).width() - 1;
+    unsigned pHi = p.hasSlice ? p.hi : machine_.storages[p.si].width - 1;
     unsigned pLo = p.hasSlice ? p.lo : 0;
     unsigned qHi = q.hasSlice ? q.hi : pHi;
     unsigned qLo = q.hasSlice ? q.lo : 0;
@@ -257,6 +289,21 @@ ExecEngine::IssueInfo ExecEngine::issue(const DecodedInstruction& inst) {
     advanceTo(busy);
   }
 
+  const bool useUops = uops_ != nullptr;
+
+  // Interpreter path only: per-field evaluation contexts are invariant
+  // across the phase-A hazard-retry loop, so they are hoisted and a retry
+  // redoes only the evaluation itself. The uop path has no per-issue
+  // allocations at all.
+  std::vector<OpContext> ctxs;
+  if (!useUops) {
+    ctxs.reserve(inst.ops.size());
+    for (std::size_t f = 0; f < inst.ops.size(); ++f)
+      ctxs.emplace_back(
+          *this, machine_.fields[f].operations[inst.ops[f].opIndex].params,
+          inst.ops[f].params);
+  }
+
   try {
     // Phase A with hazard-probe retry: evaluate all actions against the
     // pre-cycle state; a read of a location with a pending interlocked write
@@ -269,9 +316,20 @@ ExecEngine::IssueInfo ExecEngine::issue(const DecodedInstruction& inst) {
       stagedLocal_.clear();
       for (std::size_t f = 0; f < inst.ops.size(); ++f) {
         const DecodedOp& dop = inst.ops[f];
-        const Operation& op = machine_.fields[f].operations[dop.opIndex];
-        OpContext ctx(*this, op.params, dop.params);
-        execStmts(op.action, ctx, dop.effLatency, dop.effStall);
+        if (useUops) {
+          const uop::Program& prog =
+              uops_->at(unsigned(f), dop.opIndex).action;
+          if (!prog.empty()) {
+            if (prog.narrow)
+              execProgramNarrow(prog, dop.params, dop.effLatency,
+                                dop.effStall);
+            else
+              execProgram(prog, dop.params, dop.effLatency, dop.effStall);
+          }
+        } else {
+          execStmts(machine_.fields[f].operations[dop.opIndex].action,
+                    ctxs[f], dop.effLatency, dop.effStall);
+        }
       }
       if (requiredStall_ == 0) break;
       info.dataStallCycles += requiredStall_;
@@ -291,17 +349,27 @@ ExecEngine::IssueInfo ExecEngine::issue(const DecodedInstruction& inst) {
     }
 
     // Publish phase-A writes, then run phase B (side effects observe them).
-    for (auto& w : stagedLocal_) pending_.push_back(std::move(w));
+    for (auto& w : stagedLocal_) insertPending(std::move(w));
     stagedLocal_.clear();
     phaseB_ = true;
     for (std::size_t f = 0; f < inst.ops.size(); ++f) {
       const DecodedOp& dop = inst.ops[f];
-      const Operation& op = machine_.fields[f].operations[dop.opIndex];
-      OpContext ctx(*this, op.params, dop.params);
-      execStmts(op.sideEffects, ctx, dop.effLatency, dop.effStall);
-      execOptionSideEffects(ctx, dop.effLatency, dop.effStall);
+      if (useUops) {
+        const uop::Program& prog =
+            uops_->at(unsigned(f), dop.opIndex).sideEffects;
+        if (!prog.empty()) {
+          if (prog.narrow)
+            execProgramNarrow(prog, dop.params, dop.effLatency, dop.effStall);
+          else
+            execProgram(prog, dop.params, dop.effLatency, dop.effStall);
+        }
+      } else {
+        execStmts(machine_.fields[f].operations[dop.opIndex].sideEffects,
+                  ctxs[f], dop.effLatency, dop.effStall);
+        execOptionSideEffects(ctxs[f], dop.effLatency, dop.effStall);
+      }
     }
-    for (auto& w : stagedLocal_) pending_.push_back(std::move(w));
+    for (auto& w : stagedLocal_) insertPending(std::move(w));
     stagedLocal_.clear();
     phaseB_ = false;
   } catch (const EvalError& e) {

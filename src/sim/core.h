@@ -31,6 +31,11 @@ class TraceBuffer;
 struct StorageHeatmap;
 }  // namespace isdl::obs
 
+namespace isdl::sim::uop {
+struct Program;
+class UopTable;
+}  // namespace isdl::sim::uop
+
 namespace isdl::sim {
 
 class ExecEngine {
@@ -70,6 +75,21 @@ class ExecEngine {
   /// owner; the aggregate counters stay owned by the scheduler).
   void setStatsSink(Stats* stats) { statsSink_ = stats; }
 
+  /// Switches issue() to the micro-op compiled fast path (sim/uop.h) and
+  /// preloads the table's constant pool into the scratch register file. Null
+  /// reverts to the tree-walking interpreter. The table must outlive the
+  /// engine and describe the same Machine. Defined in uop.cpp.
+  void setUopTable(const uop::UopTable* table);
+  bool usingUops() const { return uops_ != nullptr; }
+
+  /// Register of the narrow dispatch loop: a masked value plus its width.
+  /// Programs whose static width analysis proved every register ≤ 64 bits
+  /// (uop::Program::narrow) execute over these instead of BitVectors.
+  struct NarrowReg {
+    std::uint64_t v = 0;
+    std::uint32_t w = 0;
+  };
+
  private:
   struct Pending {
     unsigned si = 0;
@@ -85,7 +105,13 @@ class ExecEngine {
 
   const Machine& machine_;
   State& state_;
+  /// Delayed-write queue, kept sorted by (commitCycle, seq) on insert so
+  /// commitUpTo retires a prefix instead of re-sorting every call.
   std::vector<Pending> pending_;
+  /// Overlay index: pending-entry count per storage. readLoc skips the
+  /// pending scan entirely for storages with nothing in flight (the common
+  /// case), which is what de-quadratifies the read path.
+  std::vector<std::uint32_t> pendingBySi_;
   std::vector<std::uint64_t> fieldBusyUntil_;
   std::uint64_t cycle_ = 0;
   std::uint64_t seq_ = 0;
@@ -105,15 +131,30 @@ class ExecEngine {
 
   class OpContext;
   struct ResolvedLv {
-    unsigned si;
-    std::uint64_t elem;
-    bool hasSlice;
-    unsigned hi, lo;
+    unsigned si = 0;
+    std::uint64_t elem = 0;
+    bool hasSlice = false;
+    unsigned hi = 0, lo = 0;
   };
 
+  // Micro-op fast path (sim/uop.h): compiled programs plus the reusable
+  // execution scratch state (register file, lvalue slots, decoded-parameter
+  // frame stack). All grow to high-water marks and are reused across issues.
+  const uop::UopTable* uops_ = nullptr;
+  std::vector<BitVector> scratch_;
+  std::vector<ResolvedLv> lvSlots_;
+  std::vector<const std::vector<DecodedParam>*> frames_;
+  std::vector<NarrowReg> nscratch_;
+
+  /// Reads through the pending-write overlay without copying in the common
+  /// no-overlay case: returns a reference into State, or into `tmp` when a
+  /// forwarded in-flight value had to be materialised.
+  const BitVector& readLocRef(unsigned si, std::uint64_t elem,
+                              BitVector& tmp) const;
   BitVector readLoc(unsigned si, std::uint64_t elem) const;
   void commitUpTo(std::uint64_t cycleInclusive);
   void advanceTo(std::uint64_t newCycle);
+  void insertPending(Pending&& p);
   void stageWrite(const ResolvedLv& lv, BitVector value, unsigned latency,
                   unsigned stallCost);
   ResolvedLv resolveLvalue(const rtl::Lvalue& lv, const OpContext& ctx) const;
@@ -121,6 +162,14 @@ class ExecEngine {
                  unsigned latency, unsigned stallCost);
   void execOptionSideEffects(const OpContext& ctx, unsigned latency,
                              unsigned stallCost);
+  /// Defined in uop.cpp: the micro-op dispatch loops (general BitVector loop
+  /// and the uint64_t specialization for Program::narrow programs).
+  void execProgram(const uop::Program& prog,
+                   const std::vector<DecodedParam>& dparams, unsigned latency,
+                   unsigned stallCost);
+  void execProgramNarrow(const uop::Program& prog,
+                         const std::vector<DecodedParam>& dparams,
+                         unsigned latency, unsigned stallCost);
 
   friend class OpContext;
 };

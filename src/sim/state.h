@@ -71,8 +71,13 @@ class State {
   void reset();
 
   /// Reads location `element` of storage `si` (element 0 for non-addressed
-  /// kinds). Throws rtl::EvalError on out-of-range access.
-  const BitVector& read(unsigned si, std::uint64_t element = 0) const;
+  /// kinds). Throws rtl::EvalError on out-of-range access. Inline: this is
+  /// the single hottest call of the simulator (every architectural read of
+  /// both execution engines lands here).
+  const BitVector& read(unsigned si, std::uint64_t element = 0) const {
+    checkRange(si, element);
+    return values_[si][element];
+  }
 
   /// Writes a whole location, firing monitors when the value changes.
   void write(unsigned si, std::uint64_t element, const BitVector& value,
@@ -94,7 +99,10 @@ class State {
   std::vector<std::vector<BitVector>> values_;  // [storage][element]
   Monitors monitors_;
 
-  void checkRange(unsigned si, std::uint64_t element) const;
+  void checkRange(unsigned si, std::uint64_t element) const {
+    if (element >= values_[si].size()) throwRangeError(si, element);
+  }
+  [[noreturn]] void throwRangeError(unsigned si, std::uint64_t element) const;
 };
 
 }  // namespace isdl::sim

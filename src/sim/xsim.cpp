@@ -22,8 +22,10 @@ Xsim::Xsim(const Machine& machine)
       sigs_(machine, sigDiags_),
       disasm_(sigs_),
       state_(machine),
+      uops_(std::make_unique<uop::UopTable>(machine)),
       engine_(machine, state_) {
   engine_.setStatsSink(&stats_);
+  engine_.setUopTable(uops_.get());
   if (!sigs_.valid())
     throw IsdlError("assembly function is not decodeable:\n" +
                     sigDiags_.dump());
@@ -52,6 +54,11 @@ Xsim::Xsim(const Machine& machine)
   }
 
   initStats();
+}
+
+void Xsim::setUopEnabled(bool enabled) {
+  uopEnabled_ = enabled;
+  engine_.setUopTable(enabled ? uops_.get() : nullptr);
 }
 
 void Xsim::initStats() {
@@ -121,8 +128,25 @@ bool Xsim::loadProgram(const AssembledProgram& prog, std::string* error) {
 }
 
 void Xsim::reset() {
-  std::string err;
-  loadProgram(lastProgram_, &err);
+  // Restores state, statistics and memory images but keeps the off-line
+  // disassembly: the program words are the ones decoded_ was built from, so
+  // re-running the decoder (which dominates loadProgram) is pure waste.
+  // Benchmarks and the exploration loop reset once per measured run.
+  state_.reset();
+  engine_.reset();
+  initStats();
+  warnedSelfModify_ = false;
+
+  const unsigned imem = static_cast<unsigned>(machine_->imemIndex);
+  for (std::size_t i = 0; i < lastProgram_.words.size(); ++i)
+    state_.write(imem, i, lastProgram_.words[i], 0);
+  int dmIndex = -1;
+  for (std::size_t si = 0; si < machine_->storages.size(); ++si)
+    if (machine_->storages[si].kind == StorageKind::DataMemory)
+      dmIndex = static_cast<int>(si);
+  for (const auto& [addr, value] : lastProgram_.dataInit)
+    state_.write(static_cast<unsigned>(dmIndex), addr, value, 0);
+  state_.setPc(0, 0);
 }
 
 std::optional<RunResult> Xsim::executeOne() {

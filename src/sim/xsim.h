@@ -31,6 +31,7 @@
 #include "sim/signature.h"
 #include "sim/state.h"
 #include "sim/stats.h"
+#include "sim/uop.h"
 
 namespace isdl::sim {
 
@@ -128,6 +129,15 @@ class Xsim {
   obs::MetricsReport metricsReport() const;
   void writeMetricsJson(std::ostream& out) const;
 
+  // --- execution engine selection -------------------------------------------
+  /// Selects between the micro-op compiled core (default; sim/uop.h) and the
+  /// tree-walking interpreter. The two are bit-identical by construction —
+  /// the interpreter remains as the differential-testing oracle and as a
+  /// fallback (`xsim --no-uop`).
+  void setUopEnabled(bool enabled);
+  bool uopEnabled() const { return uopEnabled_; }
+  const uop::UopTable& uopTable() const { return *uops_; }
+
   /// Commits in-flight delayed writes (call before inspecting final state).
   void drainPipeline() { engine_.drain(); }
 
@@ -139,7 +149,9 @@ class Xsim {
   SignatureTable sigs_;
   Disassembler disasm_;
   State state_;
+  std::unique_ptr<uop::UopTable> uops_;
   ExecEngine engine_;
+  bool uopEnabled_ = true;
   DecodedProgram decoded_;
   AssembledProgram lastProgram_;
   std::set<std::uint64_t> breakpoints_;

@@ -7,91 +7,8 @@
 
 namespace isdl {
 
-namespace {
-std::uint64_t topWordMask(unsigned width) {
-  unsigned rem = width % 64;
-  return rem == 0 ? ~std::uint64_t{0} : ((std::uint64_t{1} << rem) - 1);
-}
-}  // namespace
-
-void BitVector::allocate(unsigned width) {
-  width_ = width;
-  nwords_ = wordsFor(width);
-  if (onHeap()) {
-    heap_ = new std::uint64_t[nwords_]();
-  } else {
-    inline_.fill(0);
-  }
-}
-
-void BitVector::release() noexcept {
-  if (onHeap()) delete[] heap_;
-}
-
-void BitVector::clearUnusedBits() noexcept {
-  if (width_ == 0 || nwords_ == 0) return;
-  words()[nwords_ - 1] &= topWordMask(width_);
-}
-
-BitVector::BitVector(unsigned width) {
-  if (width == 0) throw std::invalid_argument("BitVector width must be > 0");
-  allocate(width);
-}
-
-BitVector::BitVector(unsigned width, std::uint64_t value) : BitVector(width) {
-  words()[0] = value;
-  clearUnusedBits();
-}
-
-BitVector::BitVector(const BitVector& other) {
-  allocate(other.width_ == 0 ? 0 : other.width_);
-  width_ = other.width_;
-  nwords_ = other.nwords_;
-  if (width_ == 0) return;
-  if (onHeap()) {
-    // allocate() above used other.width_ so the buffer is correctly sized.
-    std::copy(other.words(), other.words() + nwords_, heap_);
-  } else {
-    inline_ = other.inline_;
-  }
-}
-
-BitVector::BitVector(BitVector&& other) noexcept
-    : width_(other.width_), nwords_(other.nwords_) {
-  if (onHeap()) {
-    heap_ = other.heap_;
-    other.width_ = 0;
-    other.nwords_ = 0;
-    other.inline_.fill(0);
-  } else {
-    inline_ = other.inline_;
-  }
-}
-
-BitVector& BitVector::operator=(const BitVector& other) {
-  if (this == &other) return *this;
-  BitVector tmp(other);
-  *this = std::move(tmp);
-  return *this;
-}
-
-BitVector& BitVector::operator=(BitVector&& other) noexcept {
-  if (this == &other) return *this;
-  release();
-  width_ = other.width_;
-  nwords_ = other.nwords_;
-  if (onHeap()) {
-    heap_ = other.heap_;
-    other.width_ = 0;
-    other.nwords_ = 0;
-    other.inline_.fill(0);
-  } else {
-    inline_ = other.inline_;
-  }
-  return *this;
-}
-
-BitVector::~BitVector() { release(); }
+// The special members, allocate/release/clearUnusedBits and topWordMask are
+// defined inline in the header: they dominate the simulator's hot paths.
 
 BitVector BitVector::fromString(unsigned width, std::string_view text) {
   if (text.empty()) throw std::invalid_argument("empty BitVector literal");
@@ -179,23 +96,12 @@ void BitVector::setBit(unsigned i, bool v) {
     words()[i / 64] &= ~mask;
 }
 
-bool BitVector::isZero() const noexcept {
-  const std::uint64_t* w = words();
-  for (unsigned i = 0; i < nwords_; ++i)
-    if (w[i]) return false;
-  return true;
-}
-
 bool BitVector::isAllOnes() const noexcept {
   if (width_ == 0) return false;
   const std::uint64_t* w = words();
   for (unsigned i = 0; i + 1 < nwords_; ++i)
     if (w[i] != ~std::uint64_t{0}) return false;
   return w[nwords_ - 1] == topWordMask(width_);
-}
-
-std::uint64_t BitVector::toUint64() const noexcept {
-  return nwords_ == 0 ? 0 : words()[0];
 }
 
 std::int64_t BitVector::toInt64() const noexcept {
@@ -283,6 +189,7 @@ BitVector BitVector::slice(unsigned hi, unsigned lo) const {
   if (hi < lo || hi >= width_)
     throw std::out_of_range("BitVector::slice range");
   unsigned w = hi - lo + 1;
+  if (nwords_ == 1) return raw1(w, inline_[0] >> lo);
   BitVector r(w);
   // Word-at-a-time shift-out.
   const std::uint64_t* src = words();
@@ -312,6 +219,12 @@ void BitVector::insertSlice(unsigned hi, unsigned lo, const BitVector& v) {
     throw std::out_of_range("BitVector::insertSlice range");
   if (v.width_ != hi - lo + 1)
     throw std::invalid_argument("BitVector::insertSlice width mismatch");
+  if (nwords_ == 1) {
+    std::uint64_t field =
+        v.width_ < 64 ? (std::uint64_t{1} << v.width_) - 1 : ~std::uint64_t{0};
+    inline_[0] = (inline_[0] & ~(field << lo)) | (v.inline_[0] << lo);
+    return;
+  }
   for (unsigned i = 0; i < v.width_; ++i) setBit(lo + i, v.bit(i));
 }
 
@@ -328,7 +241,7 @@ void BitVector::requireSameWidth(const BitVector& rhs, const char* op) const {
                                 op);
 }
 
-BitVector BitVector::add(const BitVector& rhs) const {
+BitVector BitVector::addSlow(const BitVector& rhs) const {
   return addWithCarry(rhs, false).sum;
 }
 
@@ -361,12 +274,12 @@ BitVector::AddResult BitVector::addWithCarry(const BitVector& rhs,
   return {std::move(sum), carryOut, overflow};
 }
 
-BitVector BitVector::sub(const BitVector& rhs) const {
+BitVector BitVector::subSlow(const BitVector& rhs) const {
   requireSameWidth(rhs, "sub");
   return addWithCarry(rhs.not_(), true).sum;
 }
 
-BitVector BitVector::mul(const BitVector& rhs) const {
+BitVector BitVector::mulSlow(const BitVector& rhs) const {
   requireSameWidth(rhs, "mul");
   BitVector r(width_);
   const std::uint64_t* a = words();
@@ -389,6 +302,7 @@ BitVector BitVector::mul(const BitVector& rhs) const {
 BitVector BitVector::udiv(const BitVector& rhs) const {
   requireSameWidth(rhs, "udiv");
   if (rhs.isZero()) return allOnes(width_);
+  if (nwords_ == 1) return raw1(width_, inline_[0] / rhs.inline_[0]);
   // Schoolbook restoring division, bit at a time. Widths here are small
   // (architectural registers), so simplicity beats speed.
   BitVector quotient(width_);
@@ -407,6 +321,7 @@ BitVector BitVector::udiv(const BitVector& rhs) const {
 BitVector BitVector::urem(const BitVector& rhs) const {
   requireSameWidth(rhs, "urem");
   if (rhs.isZero()) return *this;
+  if (nwords_ == 1) return raw1(width_, inline_[0] % rhs.inline_[0]);
   BitVector remainder(width_);
   for (unsigned i = width_; i-- > 0;) {
     remainder = remainder.shl(1);
@@ -436,9 +351,9 @@ BitVector BitVector::srem(const BitVector& rhs) const {
   return negA ? r.neg() : r;  // remainder takes the dividend's sign
 }
 
-BitVector BitVector::neg() const { return not_().add(BitVector(width_, 1)); }
+BitVector BitVector::negSlow() const { return not_().add(BitVector(width_, 1)); }
 
-BitVector BitVector::and_(const BitVector& rhs) const {
+BitVector BitVector::andSlow(const BitVector& rhs) const {
   requireSameWidth(rhs, "and");
   BitVector r(width_);
   for (unsigned i = 0; i < nwords_; ++i)
@@ -446,7 +361,7 @@ BitVector BitVector::and_(const BitVector& rhs) const {
   return r;
 }
 
-BitVector BitVector::or_(const BitVector& rhs) const {
+BitVector BitVector::orSlow(const BitVector& rhs) const {
   requireSameWidth(rhs, "or");
   BitVector r(width_);
   for (unsigned i = 0; i < nwords_; ++i)
@@ -454,7 +369,7 @@ BitVector BitVector::or_(const BitVector& rhs) const {
   return r;
 }
 
-BitVector BitVector::xor_(const BitVector& rhs) const {
+BitVector BitVector::xorSlow(const BitVector& rhs) const {
   requireSameWidth(rhs, "xor");
   BitVector r(width_);
   for (unsigned i = 0; i < nwords_; ++i)
@@ -462,7 +377,7 @@ BitVector BitVector::xor_(const BitVector& rhs) const {
   return r;
 }
 
-BitVector BitVector::not_() const {
+BitVector BitVector::notSlow() const {
   BitVector r(width_);
   for (unsigned i = 0; i < nwords_; ++i) r.words()[i] = ~words()[i];
   r.clearUnusedBits();
@@ -470,8 +385,9 @@ BitVector BitVector::not_() const {
 }
 
 BitVector BitVector::shl(unsigned amount) const {
+  if (amount >= width_) return BitVector(width_);
+  if (nwords_ == 1) return raw1(width_, inline_[0] << amount);
   BitVector r(width_);
-  if (amount >= width_) return r;
   unsigned wordShift = amount / 64;
   unsigned bitShift = amount % 64;
   const std::uint64_t* src = words();
@@ -490,8 +406,9 @@ BitVector BitVector::shl(unsigned amount) const {
 }
 
 BitVector BitVector::lshr(unsigned amount) const {
+  if (amount >= width_) return BitVector(width_);
+  if (nwords_ == 1) return raw1(width_, inline_[0] >> amount);
   BitVector r(width_);
-  if (amount >= width_) return r;
   unsigned wordShift = amount / 64;
   unsigned bitShift = amount % 64;
   const std::uint64_t* src = words();
@@ -512,6 +429,9 @@ BitVector BitVector::ashr(unsigned amount) const {
   bool neg = isNegative();
   if (amount >= width_)
     return neg ? allOnes(width_) : BitVector(width_);
+  if (nwords_ == 1)
+    return raw1(width_,
+                std::uint64_t(toInt64() >> amount));  // C++20: arithmetic >>
   BitVector r = lshr(amount);
   if (neg) {
     for (unsigned i = width_ - amount; i < width_; ++i) r.setBit(i, true);
@@ -519,16 +439,7 @@ BitVector BitVector::ashr(unsigned amount) const {
   return r;
 }
 
-bool BitVector::operator==(const BitVector& rhs) const noexcept {
-  if (width_ != rhs.width_) return false;
-  const std::uint64_t* a = words();
-  const std::uint64_t* b = rhs.words();
-  for (unsigned i = 0; i < nwords_; ++i)
-    if (a[i] != b[i]) return false;
-  return true;
-}
-
-bool BitVector::ult(const BitVector& rhs) const {
+bool BitVector::ultSlow(const BitVector& rhs) const {
   requireSameWidth(rhs, "ult");
   const std::uint64_t* a = words();
   const std::uint64_t* b = rhs.words();
@@ -544,6 +455,7 @@ bool BitVector::ule(const BitVector& rhs) const {
 
 bool BitVector::slt(const BitVector& rhs) const {
   requireSameWidth(rhs, "slt");
+  if (nwords_ == 1) return toInt64() < rhs.toInt64();
   bool aNeg = isNegative(), bNeg = rhs.isNegative();
   if (aNeg != bNeg) return aNeg;
   return ult(rhs);

@@ -12,8 +12,10 @@
 #ifndef ISDL_SUPPORT_BITVECTOR_H
 #define ISDL_SUPPORT_BITVECTOR_H
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
+#include <stdexcept>
 #include <string>
 #include <string_view>
 
@@ -25,17 +27,71 @@ class BitVector {
   /// require width > 0.
   BitVector() noexcept : width_(0), nwords_(0) { inline_.fill(0); }
 
+  // The special members are defined inline: storage elements, scratch
+  // registers and pending-write queue entries churn through them on every
+  // simulated cycle, so the call overhead is measurable.
+
   /// Zero-valued vector of the given width.
-  explicit BitVector(unsigned width);
+  explicit BitVector(unsigned width) {
+    if (width == 0) throw std::invalid_argument("BitVector width must be > 0");
+    allocate(width);
+  }
 
   /// Vector of `width` bits holding `value` (truncated modulo 2^width).
-  BitVector(unsigned width, std::uint64_t value);
+  BitVector(unsigned width, std::uint64_t value) : BitVector(width) {
+    words()[0] = value;
+    clearUnusedBits();
+  }
 
-  BitVector(const BitVector& other);
-  BitVector(BitVector&& other) noexcept;
-  BitVector& operator=(const BitVector& other);
-  BitVector& operator=(BitVector&& other) noexcept;
-  ~BitVector();
+  BitVector(const BitVector& other) {
+    allocate(other.width_ == 0 ? 0 : other.width_);
+    width_ = other.width_;
+    nwords_ = other.nwords_;
+    if (width_ == 0) return;
+    if (onHeap()) {
+      // allocate() above used other.width_ so the buffer is correctly sized.
+      std::copy(other.words(), other.words() + nwords_, heap_);
+    } else {
+      inline_ = other.inline_;
+    }
+  }
+
+  BitVector(BitVector&& other) noexcept
+      : width_(other.width_), nwords_(other.nwords_) {
+    if (onHeap()) {
+      heap_ = other.heap_;
+      other.width_ = 0;
+      other.nwords_ = 0;
+      other.inline_.fill(0);
+    } else {
+      inline_ = other.inline_;
+    }
+  }
+
+  BitVector& operator=(const BitVector& other) {
+    if (this == &other) return *this;
+    BitVector tmp(other);
+    *this = std::move(tmp);
+    return *this;
+  }
+
+  BitVector& operator=(BitVector&& other) noexcept {
+    if (this == &other) return *this;
+    release();
+    width_ = other.width_;
+    nwords_ = other.nwords_;
+    if (onHeap()) {
+      heap_ = other.heap_;
+      other.width_ = 0;
+      other.nwords_ = 0;
+      other.inline_.fill(0);
+    } else {
+      inline_ = other.inline_;
+    }
+    return *this;
+  }
+
+  ~BitVector() { release(); }
 
   /// Parses "0x..", "0b..", or decimal digits into a vector of the given
   /// width. Throws std::invalid_argument on malformed input or overflow of
@@ -50,6 +106,12 @@ class BitVector {
 
   unsigned width() const noexcept { return width_; }
   bool valid() const noexcept { return width_ != 0; }
+
+  /// Sets the value to zero, keeping width and allocation.
+  void zeroFill() noexcept {
+    std::uint64_t* w = words();
+    for (unsigned i = 0; i < nwords_; ++i) w[i] = 0;
+  }
 
   bool bit(unsigned i) const;
   void setBit(unsigned i, bool v);
@@ -143,12 +205,131 @@ class BitVector {
   const std::uint64_t* words() const noexcept {
     return onHeap() ? heap_ : inline_.data();
   }
-  void allocate(unsigned width);
-  void release() noexcept;
-  void clearUnusedBits() noexcept;
+  void allocate(unsigned width) {
+    width_ = width;
+    nwords_ = wordsFor(width);
+    if (onHeap()) {
+      heap_ = new std::uint64_t[nwords_]();
+    } else {
+      inline_.fill(0);
+    }
+  }
+  void release() noexcept {
+    if (onHeap()) delete[] heap_;
+  }
+  void clearUnusedBits() noexcept {
+    if (width_ == 0 || nwords_ == 0) return;
+    words()[nwords_ - 1] &= topWordMask(width_);
+  }
+  static std::uint64_t topWordMask(unsigned width) noexcept {
+    unsigned rem = width % 64;
+    return rem == 0 ? ~std::uint64_t{0} : ((std::uint64_t{1} << rem) - 1);
+  }
   static unsigned wordsFor(unsigned width) { return (width + 63) / 64; }
   void requireSameWidth(const BitVector& rhs, const char* op) const;
+
+  /// Single-word (width <= 64) value carrying `raw` truncated modulo
+  /// 2^width. The constructor of the inline fast paths below.
+  static BitVector raw1(unsigned width, std::uint64_t raw) noexcept {
+    BitVector r;
+    r.width_ = width;
+    r.nwords_ = 1;
+    r.inline_[0] = width < 64 ? raw & ((std::uint64_t{1} << width) - 1) : raw;
+    return r;
+  }
+
+  // General multi-word paths (bitvector.cpp), taken when either operand
+  // spans more than one 64-bit word.
+  BitVector addSlow(const BitVector& rhs) const;
+  BitVector subSlow(const BitVector& rhs) const;
+  BitVector mulSlow(const BitVector& rhs) const;
+  BitVector andSlow(const BitVector& rhs) const;
+  BitVector orSlow(const BitVector& rhs) const;
+  BitVector xorSlow(const BitVector& rhs) const;
+  BitVector notSlow() const;
+  BitVector negSlow() const;
+  bool ultSlow(const BitVector& rhs) const;
 };
+
+// --- inline <=64-bit fast paths ----------------------------------------------
+// Architectural values are overwhelmingly single-word (registers, flags,
+// addresses); the simulator's micro-op dispatch loop funnels essentially
+// every operation through these entry points, so they must not pay the
+// multi-word machinery. Operands of mismatched widths fall through to the
+// slow path, which throws the usual width-mismatch error.
+
+inline bool BitVector::isZero() const noexcept {
+  if (nwords_ == 1) return inline_[0] == 0;
+  const std::uint64_t* w = words();
+  for (unsigned i = 0; i < nwords_; ++i)
+    if (w[i]) return false;
+  return true;
+}
+
+inline std::uint64_t BitVector::toUint64() const noexcept {
+  return nwords_ == 0 ? 0 : words()[0];
+}
+
+inline bool BitVector::operator==(const BitVector& rhs) const noexcept {
+  if (width_ != rhs.width_) return false;
+  if (nwords_ == 1) return inline_[0] == rhs.inline_[0];
+  const std::uint64_t* a = words();
+  const std::uint64_t* b = rhs.words();
+  for (unsigned i = 0; i < nwords_; ++i)
+    if (a[i] != b[i]) return false;
+  return true;
+}
+
+inline bool BitVector::ult(const BitVector& rhs) const {
+  if (nwords_ == 1 && rhs.width_ == width_) return inline_[0] < rhs.inline_[0];
+  return ultSlow(rhs);
+}
+
+inline BitVector BitVector::add(const BitVector& rhs) const {
+  if (nwords_ == 1 && rhs.width_ == width_)
+    return raw1(width_, inline_[0] + rhs.inline_[0]);
+  return addSlow(rhs);
+}
+
+inline BitVector BitVector::sub(const BitVector& rhs) const {
+  if (nwords_ == 1 && rhs.width_ == width_)
+    return raw1(width_, inline_[0] - rhs.inline_[0]);
+  return subSlow(rhs);
+}
+
+inline BitVector BitVector::mul(const BitVector& rhs) const {
+  if (nwords_ == 1 && rhs.width_ == width_)
+    return raw1(width_, inline_[0] * rhs.inline_[0]);
+  return mulSlow(rhs);
+}
+
+inline BitVector BitVector::and_(const BitVector& rhs) const {
+  if (nwords_ == 1 && rhs.width_ == width_)
+    return raw1(width_, inline_[0] & rhs.inline_[0]);
+  return andSlow(rhs);
+}
+
+inline BitVector BitVector::or_(const BitVector& rhs) const {
+  if (nwords_ == 1 && rhs.width_ == width_)
+    return raw1(width_, inline_[0] | rhs.inline_[0]);
+  return orSlow(rhs);
+}
+
+inline BitVector BitVector::xor_(const BitVector& rhs) const {
+  if (nwords_ == 1 && rhs.width_ == width_)
+    return raw1(width_, inline_[0] ^ rhs.inline_[0]);
+  return xorSlow(rhs);
+}
+
+inline BitVector BitVector::not_() const {
+  if (nwords_ == 1) return raw1(width_, ~inline_[0]);
+  return notSlow();
+}
+
+inline BitVector BitVector::neg() const {
+  if (nwords_ == 1) return raw1(width_, 0 - inline_[0]);
+  return negSlow();
+}
 
 struct BitVector::AddResult {
   BitVector sum;

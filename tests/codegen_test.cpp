@@ -6,6 +6,7 @@
 #include "sim/codegen.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <cstdio>
 #include <cstdlib>
@@ -22,26 +23,30 @@ namespace isdl::sim {
 namespace {
 
 /// Compiles and runs generated simulator source; returns stdout (empty on
-/// failure). Skips gracefully when no host compiler is available.
+/// failure). Skips gracefully when no host compiler is available. Scratch
+/// file names carry the pid: ctest runs each TEST as its own process in a
+/// shared working directory, and fixed names race under `ctest -j`.
 std::string compileAndRun(const std::string& source, bool* available) {
   *available = std::system("c++ --version > /dev/null 2>&1") == 0;
   if (!*available) return {};
-  const char* srcPath = "codegen_test_sim.cpp";
-  const char* binPath = "./codegen_test_sim.bin";
+  std::string tag = cat("codegen_test_", ::getpid());
+  std::string srcPath = tag + "_sim.cpp";
+  std::string binPath = "./" + tag + "_sim.bin";
+  std::string errPath = tag + "_err.txt";
+  std::string outPath = tag + "_out.txt";
   {
     std::ofstream f(srcPath);
     f << source;
   }
   std::string cmd = cat("c++ -O1 -std=c++17 -o ", binPath, " ", srcPath,
-                        " 2> codegen_test_err.txt");
+                        " 2> ", errPath);
   if (std::system(cmd.c_str()) != 0) {
-    std::ifstream err("codegen_test_err.txt");
+    std::ifstream err(errPath);
     std::stringstream ss;
     ss << err.rdbuf();
     ADD_FAILURE() << "generated simulator failed to compile:\n" << ss.str();
     return {};
   }
-  std::string outPath = "codegen_test_out.txt";
   if (std::system(cat(binPath, " > ", outPath).c_str()) != 0) {
     ADD_FAILURE() << "generated simulator exited with an error";
     return {};
@@ -49,10 +54,10 @@ std::string compileAndRun(const std::string& source, bool* available) {
   std::ifstream out(outPath);
   std::stringstream ss;
   ss << out.rdbuf();
-  std::remove(srcPath);
-  std::remove(binPath);
+  std::remove(srcPath.c_str());
+  std::remove(binPath.c_str());
   std::remove(outPath.c_str());
-  std::remove("codegen_test_err.txt");
+  std::remove(errPath.c_str());
   return ss.str();
 }
 

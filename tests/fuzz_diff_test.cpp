@@ -192,5 +192,70 @@ INSTANTIATE_TEST_SUITE_P(
       return info.param.name;
     });
 
+// Engine differential: the micro-op compiled core (sim/uop.h) against the
+// tree-walking interpreter it replaced. Unlike the hardware-model diff above,
+// runtime traps are NOT skipped — the two engines must trap on the same
+// programs with the same message, and stall/latency attribution must match
+// cycle for cycle, because the compiler is required to preserve interpreter
+// evaluation order exactly.
+class UopDiffTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(UopDiffTest, UopEngineMatchesInterpreter) {
+  auto machine = GetParam().loader();
+  sim::Xsim uop(*machine);
+  sim::Xsim interp(*machine);
+  interp.setUopEnabled(false);
+  ASSERT_TRUE(uop.uopEnabled());
+  ASSERT_FALSE(interp.uopEnabled());
+
+  std::mt19937 rng(98765);
+  for (int trial = 0; trial < 25; ++trial) {
+    SCOPED_TRACE(::testing::Message() << "trial " << trial);
+    sim::AssembledProgram prog =
+        randomProgram(*machine, uop.signatures(), rng, 40);
+
+    std::string err;
+    ASSERT_TRUE(uop.loadProgram(prog, &err)) << err;
+    ASSERT_TRUE(interp.loadProgram(prog, &err)) << err;
+    sim::RunResult ru = uop.run(100000);
+    sim::RunResult ri = interp.run(100000);
+    ASSERT_EQ(ru.reason, ri.reason) << ru.message << " vs " << ri.message;
+    ASSERT_EQ(ru.message, ri.message);
+    uop.drainPipeline();
+    interp.drainPipeline();
+
+    // Cycle counts and stall attribution must agree, not just final values.
+    const sim::Stats& su = uop.stats();
+    const sim::Stats& si = interp.stats();
+    ASSERT_EQ(su.cycles, si.cycles);
+    ASSERT_EQ(su.instructions, si.instructions);
+    ASSERT_EQ(su.dataStallCycles, si.dataStallCycles);
+    ASSERT_EQ(su.structStallCycles, si.structStallCycles);
+    ASSERT_EQ(su.dataStallsByStorage, si.dataStallsByStorage);
+    ASSERT_EQ(su.structStallsByField, si.structStallsByField);
+
+    for (std::size_t s = 0; s < machine->storages.size(); ++s) {
+      const StorageDef& st = machine->storages[s];
+      for (std::uint64_t e = 0; e < st.depth; ++e)
+        ASSERT_EQ(uop.state().read(unsigned(s), e),
+                  interp.state().read(unsigned(s), e))
+            << st.name << "[" << e << "]";
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Machines, UopDiffTest,
+    ::testing::Values(
+        FuzzCase{"MINI",
+                 +[]() { return parseAndCheckIsdl(testing::kMiniIsdl); }},
+        FuzzCase{"SPAM", archs::loadSpam},
+        FuzzCase{"SPAM2", archs::loadSpam2},
+        FuzzCase{"SREP", archs::loadSrep},
+        FuzzCase{"TDSP", archs::loadTdsp}),
+    [](const ::testing::TestParamInfo<FuzzCase>& info) {
+      return info.param.name;
+    });
+
 }  // namespace
 }  // namespace isdl

@@ -1,0 +1,149 @@
+// Directed tests for the micro-op compilation layer (sim/uop.h): table
+// construction over all example architectures, engine parity on the real
+// benchmark kernels (cycles, stalls and final state — the fuzz suite covers
+// random programs), run-time engine switching, and the CLI `engine` command.
+
+#include "sim/uop.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "archs/archs.h"
+#include "isdl/parser.h"
+#include "sim/cli.h"
+#include "sim/xsim.h"
+#include "test_machines.h"
+
+namespace isdl::sim {
+namespace {
+
+struct ArchCase {
+  const char* name;
+  std::unique_ptr<Machine> (*loader)();
+  std::vector<archs::Benchmark> (*benchmarks)();
+};
+
+const ArchCase kArchs[] = {
+    {"SPAM", archs::loadSpam, archs::spamBenchmarks},
+    {"SPAM2", archs::loadSpam2, archs::spam2Benchmarks},
+    {"SREP", archs::loadSrep, archs::srepBenchmarks},
+    {"TDSP", archs::loadTdsp, archs::tdspBenchmarks},
+};
+
+TEST(UopTable, CompilesEveryOperationOfEveryArch) {
+  for (const ArchCase& a : kArchs) {
+    SCOPED_TRACE(a.name);
+    auto m = a.loader();
+    uop::UopTable table(*m);
+    EXPECT_GT(table.totalUops(), 0u);
+    for (std::size_t f = 0; f < m->fields.size(); ++f) {
+      for (std::size_t o = 0; o < m->fields[f].operations.size(); ++o) {
+        const Operation& op = m->fields[f].operations[o];
+        const uop::OpPrograms& p = table.at(unsigned(f), unsigned(o));
+        // An operation with statements must compile to a non-empty program.
+        if (!op.action.empty()) {
+          EXPECT_FALSE(p.action.empty()) << op.name;
+        }
+      }
+    }
+  }
+}
+
+TEST(UopTable, ToStringIsReadable) {
+  auto m = parseAndCheckIsdl(testing::kMiniIsdl);
+  uop::UopTable table(*m);
+  std::string all;
+  for (std::size_t f = 0; f < m->fields.size(); ++f)
+    for (std::size_t o = 0; o < m->fields[f].operations.size(); ++o)
+      all += uop::toString(table.at(unsigned(f), unsigned(o)).action);
+  // Some operation writes architectural state, so a stage-write uop and a
+  // parameter load must appear somewhere in the listings.
+  EXPECT_NE(all.find("stage"), std::string::npos);
+  EXPECT_NE(all.find("ldparam"), std::string::npos);
+}
+
+void expectSameRun(Xsim& a, Xsim& b, const Machine& m) {
+  EXPECT_EQ(a.stats().cycles, b.stats().cycles);
+  EXPECT_EQ(a.stats().instructions, b.stats().instructions);
+  EXPECT_EQ(a.stats().dataStallCycles, b.stats().dataStallCycles);
+  EXPECT_EQ(a.stats().structStallCycles, b.stats().structStallCycles);
+  EXPECT_EQ(a.stats().dataStallsByStorage, b.stats().dataStallsByStorage);
+  EXPECT_EQ(a.stats().structStallsByField, b.stats().structStallsByField);
+  EXPECT_EQ(a.stats().opCount, b.stats().opCount);
+  for (std::size_t si = 0; si < m.storages.size(); ++si)
+    for (std::uint64_t e = 0; e < m.storages[si].depth; ++e)
+      EXPECT_EQ(a.state().read(unsigned(si), e),
+                b.state().read(unsigned(si), e))
+          << m.storages[si].name << "[" << e << "]";
+}
+
+TEST(UopEngine, BenchmarkKernelsMatchInterpreter) {
+  for (const ArchCase& a : kArchs) {
+    auto m = a.loader();
+    for (const archs::Benchmark& bench : a.benchmarks()) {
+      SCOPED_TRACE(::testing::Message() << a.name << "/" << bench.name);
+      Xsim uop(*m);
+      Xsim interp(*m);
+      interp.setUopEnabled(false);
+
+      Assembler assembler(uop.signatures());
+      DiagnosticEngine diags;
+      auto prog = assembler.assemble(bench.source, diags);
+      ASSERT_TRUE(prog.has_value()) << diags.dump();
+
+      std::string err;
+      ASSERT_TRUE(uop.loadProgram(*prog, &err)) << err;
+      ASSERT_TRUE(interp.loadProgram(*prog, &err)) << err;
+      ASSERT_EQ(uop.run(bench.maxCycles).reason, StopReason::Halted);
+      ASSERT_EQ(interp.run(bench.maxCycles).reason, StopReason::Halted);
+      uop.drainPipeline();
+      interp.drainPipeline();
+      expectSameRun(uop, interp, *m);
+    }
+  }
+}
+
+TEST(UopEngine, SwitchingEnginesMidSessionIsConsistent) {
+  auto m = archs::loadTdsp();  // exercises option lvalues + side effects
+  const archs::Benchmark bench = archs::tdspBenchmarks()[0];
+  Xsim xsim(*m);
+  Assembler assembler(xsim.signatures());
+  DiagnosticEngine diags;
+  auto prog = assembler.assemble(bench.source, diags);
+  ASSERT_TRUE(prog.has_value()) << diags.dump();
+  std::string err;
+  ASSERT_TRUE(xsim.loadProgram(*prog, &err)) << err;
+
+  ASSERT_EQ(xsim.run(bench.maxCycles).reason, StopReason::Halted);
+  std::uint64_t uopCycles = xsim.stats().cycles;
+
+  xsim.setUopEnabled(false);
+  xsim.reset();
+  ASSERT_EQ(xsim.run(bench.maxCycles).reason, StopReason::Halted);
+  EXPECT_EQ(xsim.stats().cycles, uopCycles);
+
+  xsim.setUopEnabled(true);
+  xsim.reset();
+  ASSERT_EQ(xsim.run(bench.maxCycles).reason, StopReason::Halted);
+  EXPECT_EQ(xsim.stats().cycles, uopCycles);
+}
+
+TEST(UopEngine, CliEngineCommandSwitches) {
+  auto m = parseAndCheckIsdl(testing::kMiniIsdl);
+  Xsim xsim(*m);
+  std::ostringstream out;
+  Cli cli(xsim, out);
+  EXPECT_TRUE(xsim.uopEnabled());
+  cli.execute("engine interp");
+  EXPECT_FALSE(xsim.uopEnabled());
+  cli.execute("engine uop");
+  EXPECT_TRUE(xsim.uopEnabled());
+  EXPECT_EQ(cli.errorCount(), 0u);
+  cli.execute("engine warp");
+  EXPECT_EQ(cli.errorCount(), 1u);
+  EXPECT_NE(out.str().find("micro-op"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace isdl::sim
