@@ -4,25 +4,48 @@
 // accepts improvements of the area-delay product, and stops at a local
 // optimum.
 //
-// Build & run:  ./build/examples/explore
+// Build & run:  ./build/examples/explore [--jobs N]
+//
+//   --jobs N   shard each iteration's candidate evaluations across N worker
+//              threads (0 = all hardware threads; default 1 = serial). The
+//              trajectory and the JSON summary are identical for any N —
+//              only wall clock changes.
 
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 
+#include "explore/pool.h"
 #include "explore/spamfamily.h"
 
 using namespace isdl;
 using namespace isdl::explore;
 
-int main() {
+int main(int argc, char** argv) {
+  EvaluateOptions options;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--jobs") == 0 && i + 1 < argc) {
+      options.jobs = static_cast<unsigned>(std::atoi(argv[++i]));
+    } else if (std::strncmp(argv[i], "--jobs=", 7) == 0) {
+      options.jobs = static_cast<unsigned>(std::atoi(argv[i] + 7));
+    } else {
+      std::fprintf(stderr, "usage: %s [--jobs N]\n", argv[0]);
+      return 2;
+    }
+  }
+
   std::printf("Architecture exploration by iterative improvement\n");
   std::printf("  search space: SPAM family, aluUnits in 1..4, moveUnits in "
               "0..3\n");
   std::printf("  workload:     64-element integer dot product (regenerated "
               "per candidate)\n");
-  std::printf("  objective:    runtime x die size\n\n");
+  std::printf("  objective:    runtime x die size\n");
+  std::printf("  jobs:         %u evaluation worker%s\n\n",
+              effectiveJobs(options.jobs),
+              effectiveJobs(options.jobs) == 1 ? "" : "s");
 
-  ExplorationDriver driver;
+  ExplorationDriver driver(options);
   Candidate start = makeSpamVariant({1, 2});
   std::printf("start: %s\n\n", start.name.c_str());
 
@@ -33,8 +56,8 @@ int main() {
               "cycles", "die size", "objective", "");
   for (const auto& step : result.history) {
     if (step.failed) {
-      std::printf("%4u  %-12s (failed)\n", step.iteration,
-                  step.candidateName.c_str());
+      std::printf("%4u  %-12s (failed: %s)\n", step.iteration,
+                  step.candidateName.c_str(), step.error.c_str());
       continue;
     }
     std::printf("%4u  %-12s %10llu %12.0f %14.4g  %s\n", step.iteration,

@@ -2,7 +2,9 @@
 
 #include <ostream>
 
+#include "explore/pool.h"
 #include "obs/json.h"
+#include "obs/registry.h"
 #include "support/diag.h"
 
 namespace isdl::explore {
@@ -19,6 +21,7 @@ void ExplorationDriver::Result::writeJson(std::ostream& out) const {
     w.field("candidate", step.candidateName);
     if (step.failed) {
       w.field("failed", true);
+      w.field("error", step.error);
     } else {
       w.field("objective", step.objective);
       w.field("runtime_us", step.runtimeUs);
@@ -30,8 +33,19 @@ void ExplorationDriver::Result::writeJson(std::ostream& out) const {
     w.endObject();
   }
   w.endArray();
+  // Aggregated counters over every evaluation of the run. Wall-clock timers
+  // (*_ns) are deliberately omitted here and from best_metrics below: the
+  // summary must be a pure function of the candidate set so that serial and
+  // parallel runs (and repeated runs) serialize byte-identically.
+  w.key("totals").beginObject();
+  for (const auto& [name, value] : counters) {
+    if (name.size() >= 3 && name.compare(name.size() - 3, 3, "_ns") == 0)
+      continue;
+    w.field(name, value);
+  }
+  w.endObject();
   w.key("best_metrics");
-  bestEval.metrics.writeJson(w);
+  bestEval.metrics.writeJson(w, /*includeWallClock=*/false);
   w.endObject();
   out << "\n";
 }
@@ -52,24 +66,50 @@ ExplorationDriver::Result ExplorationDriver::run(
                             result.bestEval.dieSizeGridCells,
                             result.bestEval.cycles,
                             result.bestEval.metrics.stallFraction(), true,
-                            false});
+                            false, {}});
+
+  // One pool (and one private registry per worker) for the whole run; both
+  // are reused across iterations. Workers share nothing while a batch is in
+  // flight — each evaluation builds its own Xsim — so the only cross-thread
+  // traffic is the index counter and the post-barrier registry merge.
+  WorkerPool pool(options_.jobs);
+  std::vector<obs::Registry> workerRegs(pool.jobs());
+  obs::Registry totals;
+  totals.merge(result.bestEval.metrics.counters);
+  ++totals.counter("explore/candidates");
 
   for (unsigned iter = 1; iter <= maxIterations; ++iter) {
     std::vector<Candidate> neighbours =
         generate(result.best, result.bestEval, iter);
     if (neighbours.empty()) break;
 
+    // Shard the neighbourhood across the pool; evals is index-addressed so
+    // the gather below walks generator order regardless of finish order.
+    std::vector<Evaluation> evals(neighbours.size());
+    pool.forEach(neighbours.size(), [&](std::size_t i, unsigned worker) {
+      obs::Registry& reg = workerRegs[worker];
+      obs::ScopedTimer t = reg.time("explore/worker_ns");
+      evals[i] = evaluateIsdl(neighbours[i].isdlSource,
+                              neighbours[i].appSource, options_);
+      reg.merge(evals[i].metrics.counters);
+      ++reg.counter("explore/candidates");
+      if (!evals[i].ok) ++reg.counter("explore/failed");
+    });
+
+    // Deterministic merge, exactly the serial loop's acceptance rule: walk
+    // in generator order, strict improvement over the running best, so ties
+    // resolve to the earliest candidate no matter which worker ran it.
     bool improved = false;
-    Candidate bestNeighbour;
-    Evaluation bestNeighbourEval;
+    std::size_t bestIdx = 0;
     double bestNeighbourObj = bestObj;
-    for (const Candidate& cand : neighbours) {
-      Evaluation ev = evaluateIsdl(cand.isdlSource, cand.appSource, options_);
+    for (std::size_t i = 0; i < neighbours.size(); ++i) {
+      const Evaluation& ev = evals[i];
       Step step;
       step.iteration = iter;
-      step.candidateName = cand.name;
+      step.candidateName = neighbours[i].name;
       if (!ev.ok) {
         step.failed = true;
+        step.error = ev.error;
         result.history.push_back(step);
         continue;
       }
@@ -80,24 +120,27 @@ ExplorationDriver::Result ExplorationDriver::run(
       step.stallFraction = ev.metrics.stallFraction();
       if (step.objective < bestNeighbourObj) {
         bestNeighbourObj = step.objective;
-        bestNeighbour = cand;
-        bestNeighbourEval = ev;
+        bestIdx = i;
         improved = true;
       }
       result.history.push_back(step);
     }
     result.iterations = iter;
     if (!improved) break;  // local optimum: Figure 1's loop terminates
-    result.best = bestNeighbour;
-    result.bestEval = bestNeighbourEval;
+    result.best = neighbours[bestIdx];
+    result.bestEval = std::move(evals[bestIdx]);
     bestObj = bestNeighbourObj;
     // Mark the accepted step.
     for (auto it = result.history.rbegin(); it != result.history.rend(); ++it)
-      if (it->iteration == iter && it->candidateName == bestNeighbour.name) {
+      if (it->iteration == iter && it->candidateName == result.best.name) {
         it->accepted = true;
         break;
       }
   }
+
+  for (const obs::Registry& reg : workerRegs) totals.merge(reg);
+  totals.counter("explore/iterations").set(result.iterations);
+  result.counters = totals.snapshot();
   return result;
 }
 

@@ -2,12 +2,22 @@
 // initial candidate is evaluated, neighbourhood candidates are generated
 // from the best one, and the loop repeats until no candidate improves the
 // objective.
+//
+// Each iteration's neighbourhood is evaluated in parallel when
+// EvaluateOptions::jobs > 1: candidates are sharded across a worker pool
+// (explore/pool.h), every worker owning a thread-confined evaluation
+// pipeline and a private obs::Registry, and results are merged back in
+// generator order. Parallelism changes wall clock only — the Step history,
+// acceptance decisions and Result::writeJson output are byte-identical to a
+// serial run (tests/explore_parallel_test.cpp enforces this).
 
 #ifndef ISDL_EXPLORE_DRIVER_H
 #define ISDL_EXPLORE_DRIVER_H
 
+#include <cstdint>
 #include <functional>
 #include <iosfwd>
+#include <utility>
 #include <vector>
 
 #include "explore/evaluate.h"
@@ -41,6 +51,7 @@ class ExplorationDriver {
     double stallFraction = 0;  ///< from the candidate's metrics report
     bool accepted = false;     ///< became the new best
     bool failed = false;       ///< evaluation error (recorded, skipped)
+    std::string error;         ///< the evaluation diagnostic when failed
   };
 
   struct Result {
@@ -48,6 +59,10 @@ class ExplorationDriver {
     Evaluation bestEval;
     std::vector<Step> history;
     unsigned iterations = 0;
+    /// Registry counters aggregated across every candidate evaluation of the
+    /// run (per-worker registries merged after each iteration's barrier —
+    /// see obs::Registry::merge) plus the driver's own explore/* counters.
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
 
     /// The exploration summary as JSON: every step of the trajectory plus
     /// the winning candidate's full XTRACE metrics report (same schema the

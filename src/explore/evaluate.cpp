@@ -1,5 +1,7 @@
 #include "explore/evaluate.h"
 
+#include <chrono>
+
 #include "hw/hgen.h"
 #include "isdl/parser.h"
 #include "isdl/sema.h"
@@ -12,6 +14,7 @@ Evaluation evaluate(const Machine& machine, const std::string& appSource,
   Evaluation ev;
   ev.archName = machine.name;
   try {
+    auto evalStart = std::chrono::steady_clock::now();
     // --- ILS path: compile + execute the application ----------------------
     sim::Xsim xsim(machine);
     xsim.enableProfile();  // storage heatmaps land in ev.metrics
@@ -51,6 +54,12 @@ Evaluation evaluate(const Machine& machine, const std::string& appSource,
     ev.cycleNs = hgen.stats.cycleNs;
     ev.dieSizeGridCells = hgen.stats.dieSizeGridCells;
     ev.verilogLines = hgen.stats.verilogLines;
+    // Whole-evaluation wall clock (sim + hgen), recorded before the report
+    // snapshot so the counter lands in ev.metrics for per-worker merging.
+    xsim.registry().counter("eval/total_ns").add(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - evalStart)
+            .count()));
     ev.metrics = xsim.metricsReport();
 
     if (options.measurePower) {

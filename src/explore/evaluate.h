@@ -23,6 +23,12 @@ struct EvaluateOptions {
   bool measurePower = false;
   /// Power measurement clock budget.
   std::uint64_t powerClocks = 20'000;
+  /// Worker threads the exploration driver shards candidate evaluations
+  /// across (0 = all hardware threads). Each worker owns a thread-confined
+  /// evaluation pipeline; results are merged in generator order, so any
+  /// value here produces the same exploration trajectory — only wall clock
+  /// changes. Single candidate evaluations ignore this.
+  unsigned jobs = 1;
 };
 
 struct Evaluation {

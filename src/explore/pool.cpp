@@ -1,0 +1,91 @@
+#include "explore/pool.h"
+
+#include <limits>
+
+namespace isdl::explore {
+
+unsigned effectiveJobs(unsigned requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw ? hw : 1;
+}
+
+WorkerPool::WorkerPool(unsigned jobs) : jobs_(effectiveJobs(jobs)) {
+  if (jobs_ <= 1) return;
+  threads_.reserve(jobs_);
+  for (unsigned w = 0; w < jobs_; ++w)
+    threads_.emplace_back([this, w] { workerMain(w); });
+}
+
+WorkerPool::~WorkerPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  wake_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void WorkerPool::runIndices(const std::function<void(std::size_t, unsigned)>& fn,
+                            unsigned worker) {
+  for (;;) {
+    std::size_t i = next_.fetch_add(1, std::memory_order_relaxed);
+    if (i >= count_) return;
+    try {
+      fn(i, worker);
+    } catch (...) {
+      // Record the failure but keep draining indices: one bad candidate must
+      // not strand the rest of the batch mid-flight. The lowest index wins
+      // so the rethrow matches what a serial loop would have thrown first.
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!firstError_ || i < firstErrorIndex_) {
+        firstError_ = std::current_exception();
+        firstErrorIndex_ = i;
+      }
+    }
+  }
+}
+
+void WorkerPool::workerMain(unsigned worker) {
+  std::uint64_t seen = 0;
+  for (;;) {
+    const std::function<void(std::size_t, unsigned)>* fn = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      wake_.wait(lock, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      fn = fn_;
+    }
+    runIndices(*fn, worker);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--active_ == 0) done_.notify_all();
+    }
+  }
+}
+
+void WorkerPool::forEach(
+    std::size_t count,
+    const std::function<void(std::size_t index, unsigned worker)>& fn) {
+  if (count == 0) return;
+  if (threads_.empty() || count == 1) {
+    // Inline serial path: exceptions propagate directly, like a plain loop.
+    for (std::size_t i = 0; i < count; ++i) fn(i, 0);
+    return;
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  count_ = count;
+  fn_ = &fn;
+  next_.store(0, std::memory_order_relaxed);
+  active_ = static_cast<unsigned>(threads_.size());
+  firstError_ = nullptr;
+  firstErrorIndex_ = std::numeric_limits<std::size_t>::max();
+  ++generation_;
+  wake_.notify_all();
+  done_.wait(lock, [&] { return active_ == 0; });
+  fn_ = nullptr;
+  if (firstError_) std::rethrow_exception(firstError_);
+}
+
+}  // namespace isdl::explore

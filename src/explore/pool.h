@@ -1,0 +1,81 @@
+// A small worker pool for sharding candidate evaluations (paper Figure 1's
+// "evaluate the neighbourhood" edge) across host threads. Each evaluation is
+// thread-confined by construction — a worker owns its candidate's whole
+// parse -> sema -> Xsim build -> assemble -> run -> HGEN pipeline, and no
+// state is shared between workers while a batch is in flight. The pool only
+// provides the sharding and the barrier; deterministic merging of results is
+// the caller's job (the driver gathers into an index-addressed vector, so
+// generator order is preserved no matter which worker finished first).
+
+#ifndef ISDL_EXPLORE_POOL_H
+#define ISDL_EXPLORE_POOL_H
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace isdl::explore {
+
+/// Resolves a requested job count: 0 means "all hardware threads" (at least
+/// one); anything else is taken literally.
+unsigned effectiveJobs(unsigned requested);
+
+/// Fixed-size pool of worker threads with a fork-join `forEach`. Workers are
+/// spawned once and reused across batches, so per-iteration dispatch costs a
+/// condition-variable wakeup rather than thread creation.
+///
+/// With one job the pool spawns no threads at all and `forEach` runs inline
+/// on the caller — `jobs=1` is exactly the serial loop, not a one-thread
+/// simulation of it.
+class WorkerPool {
+ public:
+  /// `jobs == 0` selects all hardware threads (see effectiveJobs).
+  explicit WorkerPool(unsigned jobs = 0);
+  ~WorkerPool();
+
+  WorkerPool(const WorkerPool&) = delete;
+  WorkerPool& operator=(const WorkerPool&) = delete;
+
+  /// Number of workers that execute `forEach` bodies (>= 1; 1 means inline).
+  unsigned jobs() const { return jobs_; }
+
+  /// Runs `fn(index, worker)` for every index in [0, count) and blocks until
+  /// all calls returned (a barrier). Indices are claimed dynamically from a
+  /// shared counter, so uneven candidates balance across workers; `worker`
+  /// is in [0, jobs()) and is stable for the duration of one call, so the
+  /// caller can keep per-worker accumulators (registries, scratch) without
+  /// locks. If any `fn` throws, the batch still runs to completion and the
+  /// exception from the lowest index is rethrown after the barrier — the
+  /// same exception a serial loop would have surfaced first.
+  void forEach(std::size_t count,
+               const std::function<void(std::size_t index, unsigned worker)>& fn);
+
+ private:
+  void workerMain(unsigned worker);
+  void runIndices(const std::function<void(std::size_t, unsigned)>& fn,
+                  unsigned worker);
+
+  unsigned jobs_ = 1;
+  std::vector<std::thread> threads_;
+
+  std::mutex mu_;
+  std::condition_variable wake_;  ///< workers wait here between batches
+  std::condition_variable done_;  ///< caller waits here for the barrier
+  std::uint64_t generation_ = 0;  ///< bumped once per forEach batch
+  bool stop_ = false;
+  std::size_t count_ = 0;
+  const std::function<void(std::size_t, unsigned)>* fn_ = nullptr;
+  std::atomic<std::size_t> next_{0};  ///< next unclaimed index
+  unsigned active_ = 0;               ///< workers still inside the batch
+  std::size_t firstErrorIndex_ = 0;
+  std::exception_ptr firstError_;
+};
+
+}  // namespace isdl::explore
+
+#endif  // ISDL_EXPLORE_POOL_H

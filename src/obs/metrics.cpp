@@ -26,7 +26,7 @@ void MetricsReport::writeJson(std::ostream& out, bool pretty) const {
   out << "\n";
 }
 
-void MetricsReport::writeJson(JsonWriter& w) const {
+void MetricsReport::writeJson(JsonWriter& w, bool includeWallClock) const {
   w.beginObject();
   w.field("arch", arch);
   w.field("cycles", cycles);
@@ -65,7 +65,12 @@ void MetricsReport::writeJson(JsonWriter& w) const {
   w.endObject();
 
   w.key("counters").beginObject();
-  for (const auto& [name, value] : counters) w.field(name, value);
+  for (const auto& [name, value] : counters) {
+    if (!includeWallClock && name.size() >= 3 &&
+        name.compare(name.size() - 3, 3, "_ns") == 0)
+      continue;
+    w.field(name, value);
+  }
   w.endObject();
   w.endObject();
 }

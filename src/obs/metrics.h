@@ -77,8 +77,12 @@ struct MetricsReport {
   }
 
   void writeJson(std::ostream& out, bool pretty = true) const;
-  /// Emits the report as one value into an in-progress JSON document.
-  void writeJson(JsonWriter& w) const;
+  /// Emits the report as one value into an in-progress JSON document. With
+  /// `includeWallClock = false`, registry counters named `*_ns` (wall-clock
+  /// timers, nondeterministic by nature) are omitted so the emitted JSON is
+  /// a pure function of the simulated run — the exploration summary relies
+  /// on this to be byte-identical between serial and parallel evaluation.
+  void writeJson(JsonWriter& w, bool includeWallClock = true) const;
 };
 
 }  // namespace isdl::obs

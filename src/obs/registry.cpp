@@ -24,6 +24,13 @@ std::vector<std::pair<std::string, std::uint64_t>> Registry::snapshot() const {
   return out;
 }
 
+void Registry::merge(const Registry& other) { merge(other.snapshot()); }
+
+void Registry::merge(
+    const std::vector<std::pair<std::string, std::uint64_t>>& counters) {
+  for (const auto& [name, value] : counters) counter(name).add(value);
+}
+
 void Registry::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   for (auto& cell : cells_) cell.set(0);

@@ -75,6 +75,18 @@ class Registry {
   /// Zeroes every registered counter (handles stay valid).
   void reset();
 
+  /// Adds every counter of `other` into this registry (creating cells on
+  /// first sight). This is the cross-thread aggregation path: parallel
+  /// workers each own a private Registry (zero contention on the hot path)
+  /// and the coordinator merges them after the join barrier, instead of all
+  /// workers sharing one registry's name-resolution mutex. `other` is
+  /// snapshotted first, so merging a registry into itself doubles it rather
+  /// than deadlocking.
+  void merge(const Registry& other);
+  /// Same, from an already-snapshotted counter list (e.g. the `counters`
+  /// section of a MetricsReport produced on another thread).
+  void merge(const std::vector<std::pair<std::string, std::uint64_t>>& counters);
+
   /// `{"name": value, ...}` sorted by name.
   void writeJson(std::ostream& out, bool pretty = true) const;
 

@@ -1,0 +1,177 @@
+// Concurrency stress tests for the XTRACE obs layer: many threads hammering
+// one shared Registry (the documented cross-thread use) and the per-worker
+// registry-merge aggregation path the parallel exploration driver relies on.
+// These tests are labelled `concurrency` in ctest and are the ones CI runs
+// under ThreadSanitizer (.github/workflows/ci.yml, `tsan` job).
+//
+// Sharing contract under test (docs/OBSERVABILITY.md): Registry and Counter
+// are thread-safe — registration under a mutex, bumps as relaxed atomic
+// adds. TraceBuffer and StorageHeatmap are deliberately thread-confined (one
+// owner thread each, like the Xsim that owns them); the merge()/snapshot()
+// paths are how confined data crosses threads after a barrier.
+
+#include "obs/registry.h"
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/trace.h"
+
+namespace isdl::obs {
+namespace {
+
+constexpr unsigned kThreads = 8;
+constexpr std::uint64_t kIters = 50'000;
+
+TEST(RegistryConcurrency, ConcurrentAddsSumExactly) {
+  Registry reg;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([&reg, t] {
+      // Every thread resolves the shared counter itself (concurrent
+      // registration of the same name must yield the same cell), then bumps
+      // it plus a per-thread counter.
+      Counter& shared = reg.counter("stress/shared");
+      Counter& mine = reg.counter("stress/thread" + std::to_string(t));
+      for (std::uint64_t i = 0; i < kIters; ++i) {
+        shared.add(1);
+        ++mine;
+      }
+    });
+  for (auto& th : threads) th.join();
+
+  EXPECT_EQ(reg.counter("stress/shared").get(), kThreads * kIters);
+  std::uint64_t perThread = 0;
+  for (const auto& [name, value] : reg.snapshot())
+    if (name != "stress/shared") perThread += value;
+  EXPECT_EQ(perThread, kThreads * kIters);
+}
+
+TEST(RegistryConcurrency, RegistrationRacesResolveToOneCellPerName) {
+  Registry reg;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([&reg] {
+      // All threads race to create the same 64 names; each add must land in
+      // the one cell that name resolved to.
+      for (unsigned n = 0; n < 64; ++n)
+        reg.counter("race/" + std::to_string(n)).add(1);
+    });
+  for (auto& th : threads) th.join();
+
+  auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 64u);
+  for (const auto& [name, value] : snap)
+    EXPECT_EQ(value, kThreads) << name;
+}
+
+TEST(RegistryConcurrency, SnapshotAndWriteJsonDuringWrites) {
+  Registry reg;
+  std::vector<std::thread> writers;
+  for (unsigned t = 0; t < kThreads; ++t)
+    writers.emplace_back([&reg] {
+      Counter& c = reg.counter("stress/live");
+      for (std::uint64_t i = 0; i < kIters; ++i) c.add(1);
+    });
+  // Readers overlap the writers: snapshots must be well-formed (monotone
+  // counts, stable names), never torn.
+  std::uint64_t last = 0;
+  for (int i = 0; i < 100; ++i) {
+    for (const auto& [name, value] : reg.snapshot()) {
+      EXPECT_EQ(name, "stress/live");
+      EXPECT_GE(value, last);
+      last = value;
+    }
+    std::ostringstream out;
+    reg.writeJson(out, /*pretty=*/false);
+  }
+  for (auto& th : writers) th.join();
+  EXPECT_EQ(reg.counter("stress/live").get(), kThreads * kIters);
+}
+
+TEST(RegistryConcurrency, PerWorkerRegistriesMergeToExactTotals) {
+  // The exploration driver's aggregation shape: each worker owns a private
+  // registry on the hot path; after the join barrier they merge into one.
+  std::vector<Registry> workers(kThreads);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([&workers, t] {
+      Counter& work = workers[t].counter("merge/work");
+      for (std::uint64_t i = 0; i < kIters; ++i) work.add(1);
+      workers[t].counter("merge/worker_id_sum").add(t);
+    });
+  for (auto& th : threads) th.join();
+
+  Registry total;
+  for (const Registry& w : workers) total.merge(w);
+  EXPECT_EQ(total.counter("merge/work").get(), kThreads * kIters);
+  EXPECT_EQ(total.counter("merge/worker_id_sum").get(),
+            std::uint64_t{kThreads} * (kThreads - 1) / 2);
+}
+
+TEST(RegistryConcurrency, ConcurrentMergesIntoOneTarget) {
+  // merge() itself may race with other merges and live writers on the
+  // target; sums must still be exact.
+  Registry target;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([&target] {
+      Registry mine;
+      mine.counter("merged").add(kIters);
+      target.merge(mine);
+      target.counter("direct").add(kIters);
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(target.counter("merged").get(), kThreads * kIters);
+  EXPECT_EQ(target.counter("direct").get(), kThreads * kIters);
+}
+
+TEST(RegistryConcurrency, ScopedTimersFromManyThreads) {
+  Registry reg;
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([&reg] {
+      for (int i = 0; i < 200; ++i) ScopedTimer timer = reg.time("stress_ns");
+    });
+  for (auto& th : threads) th.join();
+  EXPECT_GT(reg.counter("stress_ns").get(), 0u);
+}
+
+TEST(TraceConcurrency, ThreadConfinedBuffersAggregateAfterJoin) {
+  // TraceBuffer is thread-confined by contract: each thread fills its own
+  // ring, and aggregation happens after the join — the same barrier pattern
+  // the driver uses for registries. The accounting (size/dropped) must add
+  // up exactly across workers.
+  std::vector<TraceBuffer> buffers;
+  for (unsigned t = 0; t < kThreads; ++t) buffers.emplace_back(256);
+  std::vector<std::thread> threads;
+  for (unsigned t = 0; t < kThreads; ++t)
+    threads.emplace_back([&buffers, t] {
+      TraceEvent e;
+      e.field = static_cast<std::uint16_t>(t);
+      for (std::uint64_t i = 0; i < 1000; ++i) {
+        e.cycle = i;
+        buffers[t].record(e);
+      }
+    });
+  for (auto& th : threads) th.join();
+
+  std::uint64_t retained = 0, dropped = 0, seen = 0;
+  for (unsigned t = 0; t < kThreads; ++t) {
+    retained += buffers[t].size();
+    dropped += buffers[t].dropped();
+    buffers[t].forEach([&](const TraceEvent& e) {
+      EXPECT_EQ(e.field, t);  // no cross-thread bleed
+      ++seen;
+    });
+  }
+  EXPECT_EQ(retained, std::uint64_t{kThreads} * 256);
+  EXPECT_EQ(dropped, std::uint64_t{kThreads} * (1000 - 256));
+  EXPECT_EQ(seen, retained);
+}
+
+}  // namespace
+}  // namespace isdl::obs
