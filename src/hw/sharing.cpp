@@ -124,6 +124,28 @@ class BronKerbosch {
   }
 };
 
+/// The combinational fan-in cone of `start` (including itself): transitive
+/// closure over node inputs with Input/Const/Reg outputs as boundaries —
+/// exactly the edge set Netlist::topoOrder() levelizes.
+std::vector<bool> faninCone(const Netlist& nl, NetId start) {
+  std::vector<bool> seen(nl.nodes.size(), false);
+  std::vector<NetId> stack{start};
+  seen[start] = true;
+  while (!stack.empty()) {
+    const Node& node = nl.nodes[stack.back()];
+    stack.pop_back();
+    if (node.kind == NodeKind::Input || node.kind == NodeKind::Const ||
+        node.kind == NodeKind::Reg)
+      continue;
+    for (NetId in : node.ins) {
+      if (in == kNoNet || seen[in]) continue;
+      seen[in] = true;
+      stack.push_back(in);
+    }
+  }
+  return seen;
+}
+
 }  // namespace
 
 std::vector<std::vector<unsigned>> maximalCliques(
@@ -188,6 +210,29 @@ SharingReport shareResources(HwModel& model, const Machine& machine,
       }
     }
 
+    // R5 (structural): two nodes may share a unit only when neither lies in
+    // the other's combinational fan-in — CSE lets a node tagged for one
+    // operation feed another operation's expression, and merging such a pair
+    // would route the shared unit's output back into its own operand mux.
+    // The decode lines make that loop false dynamically, but the netlist is
+    // levelized structurally, so it must stay acyclic. Rewiring extends
+    // cones, so this is re-applied after every merge.
+    auto pruneDependentPairs = [&](std::vector<bool>& assignedSet) {
+      std::vector<std::vector<bool>> cones(n);
+      for (std::size_t i = 0; i < n; ++i)
+        if (!assignedSet[i]) cones[i] = faninCone(nl, members[i].net);
+      for (std::size_t i = 0; i < n; ++i) {
+        if (assignedSet[i]) continue;
+        for (std::size_t j = i + 1; j < n; ++j) {
+          if (assignedSet[j] || !adj[i][j]) continue;
+          if (cones[i][members[j].net] || cones[j][members[i].net])
+            adj[i][j] = adj[j][i] = false;
+        }
+      }
+    };
+    std::vector<bool> noneAssigned(n, false);
+    pruneDependentPairs(noneAssigned);
+
     // ---- maximal cliques + greedy, profitability-aware cover --------------
     // The paper notes the resource-sharing problem "can be solved using a
     // combinatorial optimization strategy" (§4.1): we only instantiate a
@@ -229,8 +274,20 @@ SharingReport shareResources(HwModel& model, const Machine& machine,
     // input nets.
     auto evalClique = [&](const std::vector<unsigned>& clique) {
       Pick p;
-      for (unsigned v : clique)
-        if (!assigned[v]) p.take.push_back(v);
+      // Merging rewires consumers, which can put one clique member into
+      // another's fan-in cone after the fact; the pruned adjacency tracks
+      // that, so re-filter the clique against it (bits only ever clear, so
+      // any subset taken here is still a clique).
+      for (unsigned v : clique) {
+        if (assigned[v]) continue;
+        bool compatible = true;
+        for (unsigned u : p.take)
+          if (!adj[v][u]) {
+            compatible = false;
+            break;
+          }
+        if (compatible) p.take.push_back(v);
+      }
       if (p.take.size() < 2) {
         p.take.clear();
         return p;
@@ -358,6 +415,7 @@ SharingReport shareResources(HwModel& model, const Machine& machine,
         for (auto& out : nl.outputs)
           if (out.net == old) out.net = shared;
       }
+      pruneDependentPairs(assigned);
     }
     for (std::size_t v = 0; v < n; ++v)
       if (!assigned[v]) ++report.unitsAfter;

@@ -7,6 +7,7 @@
 #include "sim/uop.h"
 
 #include <algorithm>
+#include <atomic>
 #include <bit>
 #include <cmath>
 #include <unordered_map>
@@ -18,6 +19,19 @@
 namespace isdl::sim::uop {
 
 using rtl::EvalError;
+
+namespace {
+
+std::atomic<bool> gInjectAddFault{false};
+
+}  // namespace
+
+void setTestFaultInjection(bool enabled) {
+  gInjectAddFault.store(enabled, std::memory_order_relaxed);
+}
+bool testFaultInjection() {
+  return gInjectAddFault.load(std::memory_order_relaxed);
+}
 
 namespace {
 
@@ -175,8 +189,11 @@ class Compiler {
         std::uint32_t a = compileExpr(*e.operands[0], params);
         std::uint32_t b = compileExpr(*e.operands[1], params);
         std::uint32_t r = newReg();
+        rtl::BinOp op = e.binOp;
+        if (op == rtl::BinOp::Add && testFaultInjection())
+          op = rtl::BinOp::Sub;  // deliberate mis-lowering (see uop.h)
         emit({.kind = Kind::Binary,
-              .op = std::uint8_t(e.binOp),
+              .op = std::uint8_t(op),
               .dst = r,
               .a = a,
               .b = b});

@@ -148,6 +148,15 @@ class UopTable {
 /// Human-readable listing of a compiled program (debugging / docs aid).
 std::string toString(const Program& p);
 
+/// Test-only fault injection: while enabled, UopTable lowers every RTL `+`
+/// as `-`, deliberately breaking the compiled engine. The conformance fuzzer
+/// (src/testing) uses this to prove the differential oracle catches and
+/// shrinks real lowering bugs; it is also reachable via the hidden
+/// ISDL_FUZZ_INJECT_FAULT=1 environment flag of the isdl-fuzz driver. Only
+/// affects tables built while the flag is on.
+void setTestFaultInjection(bool enabled);
+bool testFaultInjection();
+
 }  // namespace isdl::sim::uop
 
 #endif  // ISDL_SIM_UOP_H

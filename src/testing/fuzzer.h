@@ -1,0 +1,80 @@
+// The conformance fuzz loop (ISDL-FUZZ part 5): glue over machinegen,
+// programgen, oracle and shrink.
+//
+// Machines are generated from per-index seeds derived from one master seed
+// (splitmix64 mixing), so results are deterministic and independent of the
+// worker count — `--jobs 8` finds exactly the failures `--jobs 1` finds.
+// Every failure carries its machine seed; replaying is
+//
+//   isdl-fuzz --seed <seed> --machines 1
+//
+// and the gtest property suites honour the same ISDL_FUZZ_SEED environment
+// override (seedFromEnv), so one command reproduces any CI failure.
+
+#ifndef ISDL_TESTING_FUZZER_H
+#define ISDL_TESTING_FUZZER_H
+
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "obs/registry.h"
+#include "testing/machinegen.h"
+#include "testing/oracle.h"
+#include "testing/shrink.h"
+
+namespace isdl::testing {
+
+struct FuzzConfig {
+  std::uint64_t seed = 1;     ///< master seed (see seedFromEnv)
+  double budgetSeconds = 0;   ///< wall-clock budget; 0 = exactly `machines`
+  std::uint64_t machines = 25;     ///< machine count when no budget is set
+  unsigned programsPerMachine = 4;
+  unsigned programLength = 25;     ///< instructions per program (pre-halt)
+  unsigned jobs = 1;               ///< worker threads; 0 = all hardware
+  bool checkHardware = true;       ///< include the gatesim leg
+  bool shrink = true;              ///< delta-debug failures
+  std::string corpusDir;           ///< write repro files here ("" = don't)
+  std::ostream* log = nullptr;     ///< progress / failure lines (optional)
+  std::uint64_t maxCycles = 100000;
+  MachineGenOptions gen;
+};
+
+/// One confirmed divergence, shrunk if FuzzConfig::shrink was set.
+struct FuzzFailure {
+  std::uint64_t machineSeed = 0;   ///< seed that regenerates the machine
+  std::uint64_t machineIndex = 0;  ///< index under the master seed
+  std::string divergence;          ///< oracle summary (original failure)
+  ShrinkResult shrunk;             ///< minimal repro (== original if !shrink)
+  std::string reproPath;           ///< corpus file, "" if not written
+};
+
+struct FuzzOutcome {
+  std::uint64_t machines = 0;   ///< machine descriptions generated
+  std::uint64_t pairs = 0;      ///< (machine, program) pairs compared
+  std::uint64_t halted = 0;     ///< pairs that ran to the halt operation
+  std::uint64_t trapped = 0;    ///< pairs stopped by an RTL trap
+  std::uint64_t hardwareChecked = 0;  ///< pairs compared against gatesim
+  std::uint64_t generatorErrors = 0;  ///< generated source the front end
+                                      ///< rejected (always a bug)
+  std::vector<FuzzFailure> failures;  ///< sorted by machineIndex
+
+  bool ok() const { return failures.empty() && generatorErrors == 0; }
+};
+
+/// Reads ISDL_FUZZ_SEED from the environment; returns `fallback` when unset
+/// or unparsable. Test suites call this so CI failures replay locally.
+std::uint64_t seedFromEnv(std::uint64_t fallback);
+
+/// splitmix64-mixes a lane index into a master seed (deterministic per-lane
+/// streams regardless of worker scheduling).
+std::uint64_t mixSeed(std::uint64_t seed, std::uint64_t lane);
+
+/// Runs the fuzz loop. Per-pair obs counters (fuzz/pairs, fuzz/halted,
+/// fuzz/divergence/*, ...) are merged into `registry` when given.
+FuzzOutcome runFuzz(const FuzzConfig& cfg, obs::Registry* registry = nullptr);
+
+}  // namespace isdl::testing
+
+#endif  // ISDL_TESTING_FUZZER_H

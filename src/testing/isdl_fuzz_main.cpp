@@ -1,0 +1,135 @@
+// isdl-fuzz: standalone conformance-fuzzing driver (ISSUE 5 tentpole).
+//
+//   isdl-fuzz --budget 60s --jobs 0         # fuzz for a minute, all cores
+//   isdl-fuzz --machines 50 --seed 7        # exactly 50 machines, seeded
+//   isdl-fuzz --seed <seed> --machines 1    # replay one failure
+//
+// Each generated machine is run through the full toolchain: front end,
+// assembler, interp engine, uop engine, HGEN->netlist->gatesim. Any
+// divergence is shrunk to a minimal repro and written into the corpus
+// directory with its seed. Exit status: 0 = clean, 1 = divergence or
+// generator error, 2 = usage error.
+//
+// Hidden test hook: ISDL_FUZZ_INJECT_FAULT=1 (or --inject-fault) breaks the
+// uop compiler's `+` lowering on purpose, to prove the oracle catches and
+// shrinks real bugs (see sim/uop.h setTestFaultInjection).
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "sim/uop.h"
+#include "testing/fuzzer.h"
+
+namespace {
+
+void usage(std::ostream& os) {
+  os << "usage: isdl-fuzz [options]\n"
+        "  --budget <secs>[s|m]   wall-clock budget (e.g. 30s, 2m)\n"
+        "  --machines <n>         machine count when no budget (default 25)\n"
+        "  --programs <n>         programs per machine (default 4)\n"
+        "  --length <n>           instructions per program (default 25)\n"
+        "  --jobs <n>             worker threads, 0 = all cores (default 1)\n"
+        "  --seed <n>             master seed (default 1; env ISDL_FUZZ_SEED"
+        " overrides)\n"
+        "  --corpus <dir>         repro directory (default tests/corpus)\n"
+        "  --no-corpus            do not write repro files\n"
+        "  --no-hw                skip the gatesim leg\n"
+        "  --no-shrink            report failures unshrunk\n"
+        "  --quiet                suppress per-failure logging\n";
+}
+
+bool parseU64(const char* s, std::uint64_t& out) {
+  char* end = nullptr;
+  out = std::strtoull(s, &end, 0);
+  return end != s && *end == '\0';
+}
+
+/// "30", "30s", "2m" -> seconds.
+bool parseBudget(const char* s, double& out) {
+  char* end = nullptr;
+  out = std::strtod(s, &end);
+  if (end == s || out < 0) return false;
+  if (*end == 's' && end[1] == '\0') return true;
+  if (*end == 'm' && end[1] == '\0') {
+    out *= 60;
+    return true;
+  }
+  return *end == '\0';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  isdl::testing::FuzzConfig cfg;
+  cfg.seed = isdl::testing::seedFromEnv(1);
+  cfg.corpusDir = "tests/corpus";
+  cfg.log = &std::cerr;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "isdl-fuzz: " << arg << " needs a value\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    std::uint64_t n = 0;
+    if (arg == "--budget") {
+      if (!parseBudget(value(), cfg.budgetSeconds)) {
+        std::cerr << "isdl-fuzz: bad --budget\n";
+        return 2;
+      }
+    } else if (arg == "--machines" && parseU64(value(), n)) {
+      cfg.machines = n;
+    } else if (arg == "--programs" && parseU64(value(), n)) {
+      cfg.programsPerMachine = unsigned(n);
+    } else if (arg == "--length" && parseU64(value(), n)) {
+      cfg.programLength = unsigned(n);
+    } else if (arg == "--jobs" && parseU64(value(), n)) {
+      cfg.jobs = unsigned(n);
+    } else if (arg == "--seed" && parseU64(value(), n)) {
+      cfg.seed = n;  // --seed wins over ISDL_FUZZ_SEED (it is more explicit)
+    } else if (arg == "--corpus") {
+      cfg.corpusDir = value();
+    } else if (arg == "--no-corpus") {
+      cfg.corpusDir.clear();
+    } else if (arg == "--no-hw") {
+      cfg.checkHardware = false;
+    } else if (arg == "--no-shrink") {
+      cfg.shrink = false;
+    } else if (arg == "--quiet") {
+      cfg.log = nullptr;
+    } else if (arg == "--inject-fault") {
+      isdl::sim::uop::setTestFaultInjection(true);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "isdl-fuzz: unknown or malformed option '" << arg << "'\n";
+      usage(std::cerr);
+      return 2;
+    }
+  }
+  const char* injectEnv = std::getenv("ISDL_FUZZ_INJECT_FAULT");
+  if (injectEnv && std::strcmp(injectEnv, "0") != 0 && *injectEnv)
+    isdl::sim::uop::setTestFaultInjection(true);
+
+  isdl::obs::Registry registry;
+  isdl::testing::FuzzOutcome out = isdl::testing::runFuzz(cfg, &registry);
+
+  std::cout << "isdl-fuzz: " << out.machines << " machines, " << out.pairs
+            << " pairs (" << out.halted << " halted, " << out.trapped
+            << " trapped, " << out.hardwareChecked << " hardware-checked), "
+            << out.failures.size() << " divergences, " << out.generatorErrors
+            << " generator errors [seed " << cfg.seed << "]\n";
+  for (const auto& f : out.failures) {
+    std::cout << "  seed " << f.machineSeed << ": "
+              << f.shrunk.program.size() << "-line repro";
+    if (!f.reproPath.empty()) std::cout << " -> " << f.reproPath;
+    std::cout << "\n";
+  }
+  return out.ok() ? 0 : 1;
+}

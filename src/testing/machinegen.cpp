@@ -1,0 +1,458 @@
+#include "testing/machinegen.h"
+
+#include <algorithm>
+
+#include "isdl/sema.h"
+#include "support/strings.h"
+
+namespace isdl::testing {
+
+namespace {
+
+using isdl::addressBits;
+
+/// Uniform integer in [lo, hi].
+unsigned pick(std::mt19937_64& rng, unsigned lo, unsigned hi) {
+  return lo + unsigned(rng() % (hi - lo + 1));
+}
+
+bool coin(std::mt19937_64& rng, unsigned percent) {
+  return rng() % 100 < percent;
+}
+
+template <typename T>
+T choose(std::mt19937_64& rng, std::initializer_list<T> xs) {
+  auto it = xs.begin();
+  std::advance(it, rng() % xs.size());
+  return *it;
+}
+
+/// Renders random RTL expressions of a fixed width from a pool of atoms
+/// (parameter reads, storage reads, sized constants). Everything is emitted
+/// with explicit zext/sext/trunc conversions, so the result always passes
+/// the strict width discipline of sema.
+class ExprGen {
+ public:
+  ExprGen(std::mt19937_64& rng, unsigned width, std::vector<std::string> atoms,
+          unsigned maxDepth)
+      : rng_(rng), width_(width), atoms_(std::move(atoms)),
+        maxDepth_(maxDepth) {}
+
+  std::string atom() {
+    // A sized constant is always available even with an empty atom pool.
+    if (atoms_.empty() || coin(rng_, 20))
+      return cat(width_, "'d", rng_() & ((width_ >= 64) ? ~0ull
+                                         : ((1ull << width_) - 1)));
+    return atoms_[rng_() % atoms_.size()];
+  }
+
+  std::string expr(unsigned depth = 0) {
+    if (depth >= maxDepth_ || coin(rng_, 30)) return atom();
+    switch (rng_() % 8) {
+      case 0:
+      case 1:
+      case 2: {  // plain binary ALU op
+        const char* op = choose(rng_, {"+", "-", "&", "|", "^", "*"});
+        return cat("(", expr(depth + 1), " ", op, " ", expr(depth + 1), ")");
+      }
+      case 3: {  // shift by a small sized constant
+        const char* op = choose(rng_, {"<<", ">>", ">>>"});
+        unsigned amt = pick(rng_, 1, std::min(7u, width_ - 1));
+        return cat("(", expr(depth + 1), " ", op, " 3'd", amt, ")");
+      }
+      case 4:  // bitwise not
+        return cat("(~", expr(depth + 1), ")");
+      case 5: {  // comparison-steered ternary
+        const char* cmp = choose(rng_, {"==", "!=", "<", "<=", ">", ">="});
+        return cat("((", expr(depth + 1), " ", cmp, " ", expr(depth + 1),
+                   ") ? ", expr(depth + 1), " : ", expr(depth + 1), ")");
+      }
+      case 6: {  // slice of an atom, zero-extended back to width
+        unsigned hi = pick(rng_, 0, width_ - 1);
+        unsigned lo = pick(rng_, 0, hi);
+        return cat("zext(", atom(), "[", hi, ":", lo, "], ", width_, ")");
+      }
+      default:  // truncate-and-extend round trip (exercises width inference)
+      {
+        unsigned w = pick(rng_, 1, width_);
+        return cat("zext(trunc(", expr(depth + 1), ", ", w, "), ", width_,
+                   ")");
+      }
+    }
+  }
+
+  /// A 1-bit condition.
+  std::string cond() {
+    const char* cmp = choose(rng_, {"==", "!=", "<", ">="});
+    return cat("(", expr(1), " ", cmp, " ", expr(1), ")");
+  }
+
+ private:
+  std::mt19937_64& rng_;
+  unsigned width_;
+  std::vector<std::string> atoms_;
+  unsigned maxDepth_;
+};
+
+/// Random costs/timing for one operation. Latency-2 results pair with a
+/// non-zero stall budget (the ILS's interlock), usage-2 units create
+/// structural hazards — both feed the stall-accounting comparison.
+void randomCosts(std::mt19937_64& rng, OpSpec& op) {
+  op.cycle = pick(rng, 1, 2);
+  op.latency = coin(rng, 25) ? 2 : 1;
+  op.stall = op.latency > 1 ? 1 : 0;
+  op.usage = coin(rng, 20) ? 2 : 1;
+}
+
+}  // namespace
+
+MachineSpec randomMachineSpec(std::mt19937_64& rng,
+                              const MachineGenOptions& opts) {
+  MachineSpec s;
+  s.regWidth = choose(rng, {8u, 12u, 16u, 24u, 32u});
+  s.regDepth = choose(rng, {4u, 8u, 16u});
+  s.dmWidth = std::min(s.regWidth, choose(rng, {8u, 12u, 16u, 24u, 32u}));
+  s.dmDepth = choose(rng, {16u, 32u, 64u});
+  s.imemDepth = choose(rng, {128u, 256u});
+  s.pcWidth = std::max(pick(rng, 8, 16), addressBits(s.imemDepth));
+  s.ccWidth = coin(rng, 60) ? pick(rng, 1, 4) : 0;
+  s.hasCarryAlias = s.ccWidth > 0;
+  s.immWidth = pick(rng, 4, std::min(8u, s.regWidth));
+  s.simmWidth = coin(rng, 50) ? pick(rng, 4, std::min(8u, s.regWidth)) : 0;
+  s.hasNonTerminal = coin(rng, 60);
+
+  unsigned numFields = pick(rng, 1, std::max(1u, opts.maxFields));
+  s.reg2Depth = numFields >= 2 ? choose(rng, {4u, 8u}) : 0;
+  s.hasAcc = numFields >= 3 || coin(rng, 40);
+
+  const unsigned rw = s.regWidth;
+  const unsigned regBits = addressBits(s.regDepth);
+  const unsigned dmBits = addressBits(s.dmDepth);
+
+  // Atom pools per parameter shape, filled as parameters are declared.
+  auto immAtom = [&](const std::string& p, bool sgn) {
+    return cat(sgn ? "sext(" : "zext(", p, ", ", rw, ")");
+  };
+
+  for (unsigned f = 0; f < numFields; ++f) {
+    FieldSpec field;
+    field.name = cat("F", f);
+    OpSpec nop;
+    nop.name = "nop";
+    field.ops.push_back(std::move(nop));
+
+    unsigned numOps = pick(rng, 1, std::max(1u, opts.maxOpsPerField));
+    std::uint64_t opcode = 1;
+    for (unsigned o = 0; o < numOps; ++o) {
+      OpSpec op;
+      op.opcode = opcode++;
+      randomCosts(rng, op);
+
+      // Destination storage is partitioned per field (F0 -> RF, F1 -> RF2,
+      // F2 -> ACC) so bundled fields never race on the same write port —
+      // same-cycle overlapping writes are a description bug the engine traps
+      // on, and we want most generated programs to reach the hardware
+      // comparison rather than stop at a trap.
+      std::string dest;
+      std::vector<std::string> atoms;
+      if (f == 0) {
+        op.params.push_back({"d", "REG"});
+        dest = "RF[d]";
+        op.params.push_back({"a", "REG"});
+        atoms.push_back("RF[a]");
+        if (coin(rng, 70)) {
+          op.params.push_back({"b", "REG"});
+          atoms.push_back("RF[b]");
+        }
+      } else if (f == 1) {
+        op.params.push_back({"d", "REG2"});
+        dest = "RF2[d]";
+        op.params.push_back({"a", "REG2"});
+        atoms.push_back("RF2[a]");
+        if (coin(rng, 60)) {
+          op.params.push_back({"b", "REG"});
+          atoms.push_back("RF[b]");
+        }
+      } else {
+        dest = "ACC";
+        atoms.push_back("ACC");
+        if (coin(rng, 70)) {
+          op.params.push_back({"a", "REG2"});
+          atoms.push_back("RF2[a]");
+        }
+        if (coin(rng, 50)) {
+          op.params.push_back({"b", "REG"});
+          atoms.push_back("RF[b]");
+        }
+      }
+      if (s.hasAcc && f == 0 && coin(rng, 30)) atoms.push_back("ACC");
+      if (coin(rng, 40)) {
+        if (s.simmWidth && coin(rng, 50)) {
+          op.params.push_back({"i", "SIMM"});
+          atoms.push_back(immAtom("i", true));
+        } else {
+          op.params.push_back({"i", "IMM"});
+          atoms.push_back(immAtom("i", false));
+        }
+      }
+      if (f == 0 && s.hasNonTerminal && coin(rng, 40)) {
+        op.params.push_back({"s", "SRC"});
+        atoms.push_back("s");
+      }
+      // A fixed register element read, for variety.
+      if (coin(rng, 25))
+        atoms.push_back(cat("RF[", regBits, "'d", rng() % s.regDepth, "]"));
+
+      ExprGen gen(rng, rw, atoms, opts.maxExprDepth);
+      unsigned shape = unsigned(rng() % 10);
+      if (f == 0 && shape < 2) {
+        // Load: RF[d] <- DM[RF[a] address], with explicit width conversion.
+        op.name = cat("ld", o);
+        std::string addr = cat("RF[a][", dmBits - 1, ":0]");
+        std::string val = cat("DM[", addr, "]");
+        if (s.dmWidth < rw) val = cat("zext(", val, ", ", rw, ")");
+        op.action.push_back(cat("RF[d] <- ", val, ";"));
+        op.latency = 2;
+        op.stall = 1;
+      } else if (f == 0 && shape == 2) {
+        // Store: DM[RF[a] address] <- RF[b or a].
+        op.name = cat("st", o);
+        std::string addr = cat("RF[a][", dmBits - 1, ":0]");
+        std::string val = op.params.size() > 2 && op.params[2].name == "b"
+                              ? "RF[b]"
+                              : "RF[a]";
+        if (s.dmWidth < rw) val = cat("trunc(", val, ", ", s.dmWidth, ")");
+        op.action.push_back(cat("DM[", addr, "] <- ", val, ";"));
+        op.params.erase(op.params.begin());  // no destination register
+      } else if (f == 0 && shape == 3 && coin(rng, 60)) {
+        // Branch: compare-and-set PC. Excluded from random programs
+        // (touchesPc) but still exercises decode/datapath generation.
+        op.name = cat("br", o);
+        op.params = {{"a", "REG"}, {"b", "REG"}, {"t", "IMM"}};
+        op.action.push_back(cat("if (RF[a] == RF[b]) { PC <- zext(t, ",
+                                s.pcWidth, "); }"));
+        op.cycle = 2;
+        op.latency = 1;  // PC writes are immediate: no delayed-result timing
+        op.stall = 0;
+        op.usage = 1;
+        op.touchesPc = true;
+      } else if (shape < 6) {
+        // Straight ALU assignment.
+        op.name = cat("alu", o);
+        op.action.push_back(cat(dest, " <- ", gen.expr(), ";"));
+      } else {
+        // Conditional assignment, optionally with an else branch.
+        op.name = cat("sel", o);
+        if (coin(rng, 50)) {
+          op.action.push_back(cat("if ", gen.cond(), " { ", dest, " <- ",
+                                  gen.expr(), "; } else { ", dest, " <- ",
+                                  gen.expr(), "; }"));
+        } else {
+          op.action.push_back(
+              cat("if ", gen.cond(), " { ", dest, " <- ", gen.expr(), "; }"));
+        }
+      }
+
+      // Carry side effect (field 0 only: CC has a single write port).
+      if (f == 0 && s.hasCarryAlias && !op.touchesPc && coin(rng, 30)) {
+        const char* fn = choose(rng, {"carry", "borrow", "overflow"});
+        op.sideEffects.push_back(
+            cat("CARRY <- ", fn, "(", gen.atom(), ", ", gen.atom(), ");"));
+      }
+      field.ops.push_back(std::move(op));
+    }
+
+    if (f == 0) {
+      OpSpec halt;
+      halt.name = "halt";
+      halt.isHalt = true;
+      field.ops.push_back(std::move(halt));
+    }
+
+    // Opcode bits: enough for every allocated opcode, plus the halt slot.
+    std::uint64_t maxCode = 0;
+    for (auto& op : field.ops) maxCode = std::max(maxCode, op.opcode);
+    field.opcodeBits = std::max(2u, addressBits(maxCode + 2));
+    if (f == 0) {
+      // Halt takes the all-ones opcode, guaranteed distinct from the rest.
+      field.ops.back().opcode = (1ull << field.opcodeBits) - 1;
+    }
+    s.fields.push_back(std::move(field));
+  }
+
+  // Random `never` constraints between non-nop, non-halt ops of two fields.
+  if (s.fields.size() >= 2) {
+    unsigned n = pick(rng, 0, opts.maxConstraints);
+    for (unsigned c = 0; c < n; ++c) {
+      unsigned fa = unsigned(rng() % s.fields.size());
+      unsigned fb = unsigned(rng() % s.fields.size());
+      if (fa == fb) continue;
+      auto pickOp = [&](const FieldSpec& fs) -> const OpSpec* {
+        std::vector<const OpSpec*> eligible;
+        for (auto& op : fs.ops)
+          if (op.name != "nop" && !op.isHalt) eligible.push_back(&op);
+        if (eligible.empty()) return nullptr;
+        return eligible[rng() % eligible.size()];
+      };
+      const OpSpec* oa = pickOp(s.fields[fa]);
+      const OpSpec* ob = pickOp(s.fields[fb]);
+      if (!oa || !ob) continue;
+      ConstraintSpec cs{cat(s.fields[fa].name, ".", oa->name),
+                        cat(s.fields[fb].name, ".", ob->name)};
+      bool dup = false;
+      for (auto& existing : s.constraints)
+        if ((existing.a == cs.a && existing.b == cs.b) ||
+            (existing.a == cs.b && existing.b == cs.a))
+          dup = true;
+      if (!dup) s.constraints.push_back(std::move(cs));
+    }
+  }
+  return s;
+}
+
+// --- rendering -----------------------------------------------------------------
+
+namespace {
+
+unsigned paramEncWidth(const MachineSpec& s, const ParamSpec& p) {
+  if (p.type == "REG") return addressBits(s.regDepth);
+  if (p.type == "REG2") return addressBits(s.reg2Depth);
+  if (p.type == "IMM") return s.immWidth;
+  if (p.type == "SIMM") return s.simmWidth;
+  // SRC non-terminal return width: tag bit + the wider of its two payloads.
+  return 1 + std::max(addressBits(s.regDepth), s.immWidth);
+}
+
+/// Region width a field needs: opcode bits plus its widest parameter list.
+unsigned fieldRegionWidth(const MachineSpec& s, const FieldSpec& f) {
+  unsigned maxParams = 0;
+  for (const auto& op : f.ops) {
+    unsigned sum = 0;
+    for (const auto& p : op.params) sum += paramEncWidth(s, p);
+    maxParams = std::max(maxParams, sum);
+  }
+  return f.opcodeBits + maxParams;
+}
+
+}  // namespace
+
+std::string emitIsdl(const MachineSpec& s) {
+  // Disjoint per-field bit regions, field 0 topmost.
+  std::vector<unsigned> regionHi(s.fields.size());
+  unsigned wordWidth = 0;
+  for (const auto& f : s.fields) wordWidth += fieldRegionWidth(s, f);
+  {
+    unsigned hi = wordWidth - 1;
+    for (std::size_t f = 0; f < s.fields.size(); ++f) {
+      regionHi[f] = hi;
+      hi -= fieldRegionWidth(s, s.fields[f]);
+    }
+  }
+
+  std::string out;
+  out += cat("machine ", s.name, " {\n");
+  out += cat("  section format { word_width = ", wordWidth, "; }\n\n");
+
+  out += "  section storage {\n";
+  out += cat("    instruction_memory IM width ", wordWidth, " depth ",
+             s.imemDepth, ";\n");
+  out += cat("    data_memory DM width ", s.dmWidth, " depth ", s.dmDepth,
+             ";\n");
+  out += cat("    register_file RF width ", s.regWidth, " depth ", s.regDepth,
+             ";\n");
+  if (s.reg2Depth)
+    out += cat("    register_file RF2 width ", s.regWidth, " depth ",
+               s.reg2Depth, ";\n");
+  if (s.hasAcc) out += cat("    register ACC width ", s.regWidth, ";\n");
+  if (s.ccWidth) out += cat("    control_register CC width ", s.ccWidth, ";\n");
+  out += cat("    program_counter PC width ", s.pcWidth, ";\n");
+  if (s.hasCarryAlias) out += "    alias CARRY = CC[0:0];\n";
+  out += "  }\n\n";
+
+  out += "  section global_definitions {\n";
+  out += cat("    token REG enum width ", addressBits(s.regDepth),
+             " prefix \"R\" range 0 .. ", s.regDepth - 1, ";\n");
+  if (s.reg2Depth)
+    out += cat("    token REG2 enum width ", addressBits(s.reg2Depth),
+               " prefix \"Q\" range 0 .. ", s.reg2Depth - 1, ";\n");
+  out += cat("    token IMM immediate unsigned width ", s.immWidth, ";\n");
+  if (s.simmWidth)
+    out += cat("    token SIMM immediate signed width ", s.simmWidth, ";\n");
+  if (s.hasNonTerminal) {
+    unsigned k = addressBits(s.regDepth);
+    unsigned w = 1 + std::max(k, s.immWidth);
+    auto pad = [&](unsigned used) {
+      // Zero-fill between the tag bit and the payload, when the payload is
+      // narrower than the widest option's.
+      if (w - 1 > used)
+        return cat("$$[", w - 2, ":", used, "] = ", w - 1 - used, "'d0; ");
+      return std::string();
+    };
+    out += cat("    nonterminal SRC returns width ", w, " {\n");
+    out += cat("      option reg(r: REG) {\n        syntax r;\n",
+               "        encode { $$[", w - 1, "] = 0; ", pad(k), "$$[", k - 1,
+               ":0] = r; }\n        value { RF[r] }\n      }\n");
+    out += cat("      option imm(i: IMM) {\n        syntax \"#\" i;\n",
+               "        encode { $$[", w - 1, "] = 1; ", pad(s.immWidth),
+               "$$[", s.immWidth - 1, ":0] = i; }\n        value { zext(i, ",
+               s.regWidth, ") }\n      }\n");
+    out += "    }\n";
+  }
+  out += "  }\n\n";
+
+  out += "  section instruction_set {\n";
+  for (std::size_t f = 0; f < s.fields.size(); ++f) {
+    const FieldSpec& field = s.fields[f];
+    out += cat("    field ", field.name, " {\n");
+    for (const auto& op : field.ops) {
+      out += cat("      operation ", op.name, "(");
+      for (std::size_t p = 0; p < op.params.size(); ++p)
+        out += cat(p ? ", " : "", op.params[p].name, ": ", op.params[p].type);
+      out += ") {\n";
+
+      unsigned hi = regionHi[f];
+      out += cat("        encode { inst[", hi, ":", hi - field.opcodeBits + 1,
+                 "] = ", field.opcodeBits, "'d", op.opcode, ";");
+      unsigned cursor = hi - field.opcodeBits;
+      for (const auto& p : op.params) {
+        unsigned w = paramEncWidth(s, p);
+        out += cat(" inst[", cursor, ":", cursor - w + 1, "] = ", p.name, ";");
+        cursor -= w;
+      }
+      out += " }\n";
+
+      if (!op.action.empty()) {
+        out += "        action {";
+        for (const auto& stmt : op.action) out += cat(" ", stmt);
+        out += " }\n";
+      }
+      for (const auto& se : op.sideEffects)
+        out += cat("        side_effect { ", se, " }\n");
+      if (op.cycle != 1 || op.stall != 0)
+        out += cat("        costs { cycle = ", op.cycle, "; stall = ",
+                   op.stall, "; }\n");
+      if (op.latency != 1 || op.usage != 1)
+        out += cat("        timing { latency = ", op.latency, "; usage = ",
+                   op.usage, "; }\n");
+      out += "      }\n";
+    }
+    out += "    }\n";
+  }
+  out += "  }\n\n";
+
+  if (!s.constraints.empty()) {
+    out += "  section constraints {\n";
+    for (const auto& c : s.constraints)
+      out += cat("    never ", c.a, " & ", c.b, ";\n");
+    out += "  }\n\n";
+  }
+
+  out += "  section optional {\n";
+  out += cat("    halt_operation = \"", s.fields[0].name, ".halt\";\n");
+  out += cat("    description = \"generated conformance-fuzz machine (seed ",
+             s.seed, ")\";\n");
+  out += "  }\n}\n";
+  return out;
+}
+
+}  // namespace isdl::testing

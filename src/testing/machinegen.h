@@ -1,0 +1,109 @@
+// Grammar-driven random ISDL machine generator (ISDL-FUZZ part 1).
+//
+// The paper's two generated backends — the GENSIM simulator and the HGEN
+// hardware model — are mutual oracles *for whatever description they are fed*.
+// The bundled archs exercise a tiny fixed slice of the language, so this
+// generator samples the description space instead: randomized storage
+// widths/depths/latencies, VLIW field counts, token and non-terminal shapes,
+// operation actions drawn from the RTL expression grammar, and constraints.
+//
+// Generation happens in two steps so failures can be shrunk structurally:
+//   randomMachineSpec(rng)  ->  MachineSpec   (a feature-level description)
+//   emitIsdl(spec)          ->  ISDL source   (rendered text)
+// The emitted text goes through the real front end (lexer, parser, sema,
+// signature table), so the generator also fuzzes width inference and the
+// decoder-signature paths — and it is constructed to always be sema-clean:
+// any front-end rejection of generated source is itself a reportable bug.
+//
+// Layout invariant: each field owns a contiguous region of the instruction
+// word (opcode bits on top, parameters packed below), regions are disjoint,
+// and opcodes within a field are distinct — which makes every description
+// decodable and bundle assembly conflict-free by construction.
+
+#ifndef ISDL_TESTING_MACHINEGEN_H
+#define ISDL_TESTING_MACHINEGEN_H
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace isdl::testing {
+
+/// One formal parameter of a generated operation.
+struct ParamSpec {
+  std::string name;
+  std::string type;  ///< token or non-terminal name ("REG", "IMM", "SRC", ...)
+};
+
+/// One generated operation. Action/side-effect bodies are stored as rendered
+/// RTL statement text (one statement per entry); the encoding is derived
+/// from `opcode` plus the parameter list when the machine is emitted.
+struct OpSpec {
+  std::string name;
+  std::uint64_t opcode = 0;  ///< within-field opcode value (distinct per op)
+  std::vector<ParamSpec> params;
+  std::vector<std::string> action;
+  std::vector<std::string> sideEffects;
+  unsigned cycle = 1, stall = 0, size = 1;
+  unsigned latency = 1, usage = 1;
+  bool isHalt = false;      ///< the designated halt operation (field 0)
+  bool touchesPc = false;   ///< writes PC (excluded from random programs)
+};
+
+/// One VLIW field. `opcodeBits` is fixed at generation time so dropping
+/// operations during shrinking never re-encodes the survivors.
+struct FieldSpec {
+  std::string name;
+  unsigned opcodeBits = 4;
+  std::vector<OpSpec> ops;  ///< ops[0] is always the nop
+};
+
+/// `never a & b;` between two field-qualified operation names ("F0.add").
+struct ConstraintSpec {
+  std::string a, b;
+};
+
+/// A feature-level machine description: everything emitIsdl needs, and the
+/// granularity at which the shrinker (shrink.h) removes machine features.
+struct MachineSpec {
+  std::uint64_t seed = 0;  ///< RNG seed this spec was generated from
+  std::string name = "FUZZ";
+
+  unsigned regWidth = 16;   ///< RF element width (all ALU expressions)
+  unsigned regDepth = 8;    ///< RF locations (power of two)
+  unsigned dmWidth = 16;    ///< data-memory width (<= regWidth)
+  unsigned dmDepth = 32;    ///< data-memory locations (power of two)
+  unsigned imemDepth = 256; ///< instruction-memory locations
+  unsigned pcWidth = 16;
+  unsigned ccWidth = 0;     ///< control register (0 = absent)
+  bool hasCarryAlias = false;  ///< alias CARRY = CC[0:0]
+  bool hasAcc = false;         ///< plain register ACC width regWidth
+  unsigned reg2Depth = 0;      ///< second register file RF2 (0 = absent)
+
+  unsigned immWidth = 8;    ///< unsigned immediate token IMM
+  unsigned simmWidth = 0;   ///< signed immediate token SIMM (0 = absent)
+  bool hasNonTerminal = false;  ///< SRC (register | "#" immediate) operand
+
+  std::vector<FieldSpec> fields;
+  std::vector<ConstraintSpec> constraints;
+};
+
+/// Options bounding the sampled description space.
+struct MachineGenOptions {
+  unsigned maxFields = 3;        ///< 1..3 VLIW fields
+  unsigned maxOpsPerField = 5;   ///< non-nop operations per field
+  unsigned maxConstraints = 2;
+  unsigned maxExprDepth = 3;     ///< RTL expression nesting in actions
+};
+
+/// Samples a random machine spec. Deterministic in `rng`'s state.
+MachineSpec randomMachineSpec(std::mt19937_64& rng,
+                              const MachineGenOptions& opts = {});
+
+/// Renders the spec as ISDL source text (always sema-clean by construction).
+std::string emitIsdl(const MachineSpec& spec);
+
+}  // namespace isdl::testing
+
+#endif  // ISDL_TESTING_MACHINEGEN_H

@@ -1,0 +1,263 @@
+#include "testing/shrink.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "isdl/parser.h"
+#include "isdl/sema.h"
+#include "sim/assembler.h"
+#include "support/strings.h"
+
+namespace isdl::testing {
+
+namespace {
+
+/// The shrink predicate: does this candidate still diverge? Any failure to
+/// parse, check, assemble or build (a candidate the front end rejects) is
+/// "no" — the shrinker only keeps candidates that are complete repros.
+struct Predicate {
+  const ShrinkOptions& opts;
+  unsigned runs = 0;
+  std::string lastDivergence;
+
+  bool diverges(const MachineSpec& spec,
+                const std::vector<std::string>& lines) {
+    if (runs >= opts.maxOracleRuns) return false;
+    ++runs;
+    DiagnosticEngine diags;
+    auto m = parseIsdl(emitIsdl(spec), diags);
+    if (!m || !checkMachine(*m, diags)) return false;
+    try {
+      DifferentialOracle oracle(*m, opts.oracle);
+      sim::Assembler assembler(oracle.signatures());
+      DiagnosticEngine adiags;
+      auto prog = assembler.assemble(join(lines, "\n") + "\n", adiags);
+      if (!prog) return false;
+      OracleReport rep = oracle.run(*prog);
+      if (rep.ok()) return false;
+      lastDivergence = rep.summary();
+      return true;
+    } catch (const std::exception&) {
+      return false;
+    }
+  }
+};
+
+/// Delta-debugs the instruction lines (the final halt line is pinned):
+/// removes chunks in halving sizes, rescanning until a fixpoint.
+void shrinkProgram(const MachineSpec& spec, std::vector<std::string>& lines,
+                   Predicate& pred) {
+  if (lines.size() < 2) return;
+  std::vector<std::string> body(lines.begin(), lines.end() - 1);
+  const std::string halt = lines.back();
+
+  for (std::size_t chunk = std::max<std::size_t>(1, body.size() / 2);;
+       chunk /= 2) {
+    for (std::size_t i = 0; i + chunk <= body.size();) {
+      std::vector<std::string> trial;
+      trial.insert(trial.end(), body.begin(), body.begin() + i);
+      trial.insert(trial.end(), body.begin() + i + chunk, body.end());
+      trial.push_back(halt);
+      if (pred.diverges(spec, trial)) {
+        trial.pop_back();
+        body = std::move(trial);
+      } else {
+        i += chunk;
+      }
+    }
+    if (chunk == 1) break;
+  }
+
+  lines = std::move(body);
+  lines.push_back(halt);
+}
+
+bool mentions(const OpSpec& op, std::string_view needle) {
+  for (const auto& st : op.action)
+    if (st.find(needle) != std::string::npos) return true;
+  for (const auto& st : op.sideEffects)
+    if (st.find(needle) != std::string::npos) return true;
+  return false;
+}
+
+bool anyOp(const MachineSpec& s, bool (*f)(const OpSpec&)) {
+  for (const auto& field : s.fields)
+    for (const auto& op : field.ops)
+      if (f(op)) return true;
+  return false;
+}
+
+/// Drops constraints that reference an operation name no longer present.
+void pruneConstraints(MachineSpec& s) {
+  auto known = [&](const std::string& ref) {
+    for (const auto& f : s.fields)
+      for (const auto& op : f.ops)
+        if (ref == cat(f.name, ".", op.name)) return true;
+    return false;
+  };
+  std::erase_if(s.constraints, [&](const ConstraintSpec& c) {
+    return !known(c.a) || !known(c.b);
+  });
+}
+
+/// One pass of machine-feature drops; returns true if anything was removed.
+bool shrinkMachineOnce(MachineSpec& spec,
+                       const std::vector<std::string>& lines,
+                       Predicate& pred) {
+  bool changed = false;
+
+  for (std::size_t c = 0; c < spec.constraints.size();) {
+    MachineSpec trial = spec;
+    trial.constraints.erase(trial.constraints.begin() + c);
+    if (pred.diverges(trial, lines)) {
+      spec = std::move(trial);
+      changed = true;
+    } else {
+      ++c;
+    }
+  }
+
+  // Whole fields, last first (field 0 holds the halt operation and stays).
+  for (std::size_t f = spec.fields.size(); f-- > 1;) {
+    MachineSpec trial = spec;
+    trial.fields.erase(trial.fields.begin() + f);
+    pruneConstraints(trial);
+    if (pred.diverges(trial, lines)) {
+      spec = std::move(trial);
+      changed = true;
+    }
+  }
+
+  // Individual operations (nop and halt stay).
+  for (std::size_t f = 0; f < spec.fields.size(); ++f) {
+    for (std::size_t o = 0; o < spec.fields[f].ops.size();) {
+      const OpSpec& op = spec.fields[f].ops[o];
+      if (op.name == "nop" || op.isHalt) {
+        ++o;
+        continue;
+      }
+      MachineSpec trial = spec;
+      trial.fields[f].ops.erase(trial.fields[f].ops.begin() + o);
+      pruneConstraints(trial);
+      if (pred.diverges(trial, lines)) {
+        spec = std::move(trial);
+        changed = true;
+      } else {
+        ++o;
+      }
+    }
+  }
+
+  // Side effects, one operation at a time.
+  for (std::size_t f = 0; f < spec.fields.size(); ++f) {
+    for (std::size_t o = 0; o < spec.fields[f].ops.size(); ++o) {
+      if (spec.fields[f].ops[o].sideEffects.empty()) continue;
+      MachineSpec trial = spec;
+      trial.fields[f].ops[o].sideEffects.clear();
+      if (pred.diverges(trial, lines)) {
+        spec = std::move(trial);
+        changed = true;
+      }
+    }
+  }
+
+  // Optional machine features, once nothing references them.
+  auto tryFeature = [&](MachineSpec trial) {
+    if (pred.diverges(trial, lines)) {
+      spec = std::move(trial);
+      changed = true;
+    }
+  };
+  auto usesType = [&](const char* type) {
+    for (const auto& f : spec.fields)
+      for (const auto& op : f.ops)
+        for (const auto& p : op.params)
+          if (p.type == type) return true;
+    return false;
+  };
+  if (spec.hasNonTerminal && !usesType("SRC")) {
+    MachineSpec trial = spec;
+    trial.hasNonTerminal = false;
+    tryFeature(std::move(trial));
+  }
+  if (spec.simmWidth && !usesType("SIMM")) {
+    MachineSpec trial = spec;
+    trial.simmWidth = 0;
+    tryFeature(std::move(trial));
+  }
+  if (spec.ccWidth &&
+      !anyOp(spec, [](const OpSpec& op) { return mentions(op, "CARRY"); })) {
+    MachineSpec trial = spec;
+    trial.ccWidth = 0;
+    trial.hasCarryAlias = false;
+    tryFeature(std::move(trial));
+  }
+  if (spec.hasAcc &&
+      !anyOp(spec, [](const OpSpec& op) { return mentions(op, "ACC"); })) {
+    MachineSpec trial = spec;
+    trial.hasAcc = false;
+    tryFeature(std::move(trial));
+  }
+  if (spec.reg2Depth && !usesType("REG2") &&
+      !anyOp(spec, [](const OpSpec& op) { return mentions(op, "RF2"); })) {
+    MachineSpec trial = spec;
+    trial.reg2Depth = 0;
+    tryFeature(std::move(trial));
+  }
+  return changed;
+}
+
+}  // namespace
+
+ShrinkResult shrinkFailure(const MachineSpec& spec,
+                           const std::vector<std::string>& program,
+                           const ShrinkOptions& opts) {
+  ShrinkResult r;
+  r.spec = spec;
+  r.program = program;
+
+  Predicate pred{opts, 0, {}};
+  if (!pred.diverges(r.spec, r.program)) {
+    r.oracleRuns = pred.runs;
+    return r;  // not reproducible — return the input untouched
+  }
+  r.reproduced = true;
+  r.divergence = pred.lastDivergence;
+
+  shrinkProgram(r.spec, r.program, pred);
+  while (shrinkMachineOnce(r.spec, r.program, pred)) {
+  }
+  shrinkProgram(r.spec, r.program, pred);  // feature drops may free lines
+
+  r.divergence = pred.lastDivergence;
+  r.oracleRuns = pred.runs;
+  return r;
+}
+
+std::string renderRepro(const ShrinkResult& r) {
+  std::string out;
+  out += "# isdl-fuzz repro\n";
+  out += cat("# seed: ", r.spec.seed, "\n");
+  out += cat("# replay: isdl-fuzz --seed ", r.spec.seed,
+             "  (or ISDL_FUZZ_SEED=", r.spec.seed, " in the test suite)\n");
+  out += "#\n# divergence:\n";
+  for (const auto& line : split(r.divergence, '\n'))
+    out += cat("#   ", line, "\n");
+  out += "\n# --- machine ------------------------------------------------\n";
+  out += emitIsdl(r.spec);
+  out += "\n# --- program ------------------------------------------------\n";
+  for (const auto& line : r.program) out += cat(line, "\n");
+  return out;
+}
+
+std::string writeRepro(const std::string& corpusDir, const ShrinkResult& r) {
+  std::error_code ec;
+  std::filesystem::create_directories(corpusDir, ec);
+  std::string path = cat(corpusDir, "/seed-", r.spec.seed, ".repro.txt");
+  std::ofstream out(path);
+  if (!out) return "";
+  out << renderRepro(r);
+  return out.good() ? path : "";
+}
+
+}  // namespace isdl::testing

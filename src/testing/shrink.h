@@ -1,0 +1,64 @@
+// Test-case shrinking (ISDL-FUZZ part 4).
+//
+// A raw fuzz failure is a ~25-instruction program on a machine with several
+// fields, tokens, constraints and side effects — far more than the bug
+// needs. shrinkFailure() reduces it in two phases while preserving "the
+// oracle still diverges":
+//
+//   1. delta-debug the program: remove instruction lines in halving chunk
+//      sizes until no single line can go (the halt line stays pinned);
+//   2. shrink machine features: drop constraints, whole fields, operations,
+//      side effects, the non-terminal, the condition-code register and the
+//      accumulator — each drop re-validated through the full front end, so
+//      a shrunk machine is always a real, sema-clean description.
+//
+// Opcodes are fixed in the MachineSpec at generation time, so dropping an
+// operation never re-encodes the survivors — the surviving program lines
+// keep meaning the same bits, which is what makes phase 2 converge.
+//
+// The result renders as a self-contained repro file (seed, divergence,
+// machine source, program) written into the corpus directory.
+
+#ifndef ISDL_TESTING_SHRINK_H
+#define ISDL_TESTING_SHRINK_H
+
+#include <string>
+#include <vector>
+
+#include "testing/machinegen.h"
+#include "testing/oracle.h"
+
+namespace isdl::testing {
+
+struct ShrinkOptions {
+  OracleOptions oracle;
+  unsigned maxOracleRuns = 2000;  ///< hard budget on predicate evaluations
+};
+
+struct ShrinkResult {
+  MachineSpec spec;                  ///< shrunk machine (emitIsdl to render)
+  std::vector<std::string> program;  ///< shrunk assembly lines (incl. halt)
+  std::string divergence;            ///< oracle summary of the shrunk repro
+  unsigned oracleRuns = 0;           ///< predicate evaluations spent
+  bool reproduced = false;  ///< false: the input did not diverge to begin with
+};
+
+/// Shrinks a diverging (machine, program) pair. `program` is assembly-source
+/// lines whose last line is the halt instruction. Runs the oracle with the
+/// ambient fault-injection state, so call it under the same flags that
+/// produced the failure.
+ShrinkResult shrinkFailure(const MachineSpec& spec,
+                           const std::vector<std::string>& program,
+                           const ShrinkOptions& opts = {});
+
+/// Renders a self-contained repro file: seed + replay command + divergence +
+/// machine source + program.
+std::string renderRepro(const ShrinkResult& r);
+
+/// Writes renderRepro() into `corpusDir/seed-<seed>.repro.txt` (creating the
+/// directory); returns the path, or "" if the write failed.
+std::string writeRepro(const std::string& corpusDir, const ShrinkResult& r);
+
+}  // namespace isdl::testing
+
+#endif  // ISDL_TESTING_SHRINK_H

@@ -17,7 +17,8 @@
 #include "archs/archs.h"
 #include "hw/datapath.h"
 #include "sim/xsim.h"
-#include "synth/gatesim.h"
+#include "support/strings.h"
+#include "testing/oracle.h"
 
 namespace isdl {
 namespace {
@@ -54,42 +55,13 @@ TEST_P(CosimTest, HardwareModelMatchesXsim) {
     xsim.drainPipeline();
 
     // --- device under test: the generated hardware model -------------------
-    synth::GateSim gs(model.netlist);
-    gs.loadMemory(model.storage[machine->imemIndex].mem, prog->words);
-    int dmIndex = -1;
-    for (std::size_t si = 0; si < machine->storages.size(); ++si)
-      if (machine->storages[si].kind == StorageKind::DataMemory)
-        dmIndex = static_cast<int>(si);
-    for (const auto& [addr, value] : prog->dataInit)
-      gs.pokeMemory(model.storage[dmIndex].mem, addr, value);
-    ASSERT_TRUE(gs.runUntil(model.haltedReg, bench.maxCycles))
-        << "hardware model did not halt";
-
-    // --- architectural state must match bit for bit ------------------------
-    for (std::size_t si = 0; si < machine->storages.size(); ++si) {
-      const StorageDef& st = machine->storages[si];
-      const auto& map = model.storage[si];
-      if (map.isMem) {
-        for (std::uint64_t e = 0; e < st.depth; ++e) {
-          EXPECT_EQ(gs.peekMemory(map.mem, e),
-                    xsim.state().read(static_cast<unsigned>(si), e))
-              << st.name << "[" << e << "]";
-        }
-      } else {
-        EXPECT_EQ(gs.peekNet(map.reg),
-                  xsim.state().read(static_cast<unsigned>(si)))
-            << st.name;
-      }
-    }
-
-    // --- instruction count and the cycle identity ---------------------------
-    EXPECT_EQ(gs.peekNet(model.instrCountReg).toUint64(),
-              xsim.stats().instructions);
-    std::uint64_t hwCycles = gs.peekNet(model.cycleCountReg).toUint64();
-    EXPECT_EQ(xsim.stats().cycles,
-              hwCycles + xsim.stats().dataStallCycles +
-                  xsim.stats().structStallCycles);
-    EXPECT_FALSE(gs.peekNet(model.illegalNet).toUint64());
+    // One comparator, shared with fuzz_diff_test and the isdl-fuzz driver:
+    // storage bits, retired instructions, the cycle identity and the
+    // illegal-decode net (see testing/oracle.h).
+    std::vector<std::string> divergences;
+    testing::compareWithHardware(*machine, xsim, model, *prog,
+                                 bench.maxCycles, divergences);
+    EXPECT_TRUE(divergences.empty()) << join(divergences, "\n");
   }
 }
 

@@ -1,138 +1,26 @@
-// Differential fuzzing: random constraint-respecting straight-line programs
-// are executed on the generated interpreter (XSIM) and on the generated
-// hardware model (with resource sharing applied), and the final
-// architectural state must agree bit for bit. This is the strongest
-// automated check of "both tools implement the same machine" the repo has —
-// it routinely covers operand/option combinations no hand-written kernel
-// uses.
+// Differential fuzzing over the bundled architectures: random
+// constraint-respecting straight-line programs are executed on the two
+// software engines and on the generated hardware model, and everything
+// observable must agree. The generators and comparators live in src/testing
+// (shared with the isdl-fuzz driver, which additionally fuzzes the machine
+// description itself); this suite pins them to the four hand-written archs.
+//
+// Every trial logs its RNG seed; set ISDL_FUZZ_SEED to replay a failure.
 
 #include <gtest/gtest.h>
 
 #include <random>
 
 #include "archs/archs.h"
-#include "hw/datapath.h"
-#include "hw/sharing.h"
 #include "isdl/parser.h"
-#include "sim/xsim.h"
-#include "synth/gatesim.h"
+#include "support/strings.h"
 #include "test_machines.h"
+#include "testing/fuzzer.h"
+#include "testing/oracle.h"
+#include "testing/programgen.h"
 
 namespace isdl {
 namespace {
-
-/// Builds a random straight-line program: `length` instructions made of
-/// randomly chosen non-control operations with random operands, then halt.
-/// Instructions are assembled per-field via signatures, so every operand
-/// pattern (not just assembler-reachable ones) is exercised.
-sim::AssembledProgram randomProgram(const Machine& m,
-                                    const sim::SignatureTable& sigs,
-                                    std::mt19937& rng, unsigned length) {
-  // Operations that redirect control or halt are excluded; everything else
-  // (arithmetic, loads, stores, moves, non-terminal operands) is fair game.
-  auto touchesPc = [&](const Operation& op) {
-    bool touches = false;
-    auto scan = [&](const rtl::Stmt& s, auto&& self) -> void {
-      if (s.kind == rtl::StmtKind::Assign) {
-        if (!s.dest.isParam &&
-            static_cast<int>(s.dest.storageIndex) == m.pcIndex)
-          touches = true;
-        return;
-      }
-      for (const auto& t : s.thenStmts) self(*t, self);
-      for (const auto& t : s.elseStmts) self(*t, self);
-    };
-    for (const auto& s : op.action) scan(*s, scan);
-    for (const auto& s : op.sideEffects) scan(*s, scan);
-    return touches;
-  };
-
-  std::string haltOpName;
-  if (auto it = m.optionalInfo.find("halt_operation");
-      it != m.optionalInfo.end())
-    haltOpName = it->second.substr(it->second.find('.') + 1);
-
-  // Random encoded value for one parameter (recursing into non-terminals).
-  std::function<BitVector(const Param&)> randomParam =
-      [&](const Param& p) -> BitVector {
-    if (p.kind == ParamKind::Token) {
-      const TokenDef& tok = m.tokens[p.index];
-      if (tok.kind == TokenKind::Enum) {
-        const TokenMember& member =
-            tok.members[rng() % tok.members.size()];
-        return BitVector(tok.width, member.value);
-      }
-      return BitVector(tok.width, rng());
-    }
-    const NonTerminal& nt = m.nonTerminals[p.index];
-    unsigned o = unsigned(rng() % nt.options.size());
-    const NtOption& opt = nt.options[o];
-    std::vector<BitVector> sub;
-    for (const auto& q : opt.params) sub.push_back(randomParam(q));
-    BitVector ret(nt.returnWidth);
-    sigs.ntOption(p.index, o).assemble(ret, sub);
-    return ret;
-  };
-
-  sim::AssembledProgram prog;
-  const unsigned wordWidth = m.wordWidth;
-  for (unsigned i = 0; i < length; ++i) {
-    // Retry until a constraint-satisfying, conflict-free combination lands.
-    for (int attempt = 0; attempt < 100; ++attempt) {
-      std::vector<int> choice(m.fields.size());
-      bool ok = true;
-      for (std::size_t f = 0; f < m.fields.size() && ok; ++f) {
-        for (int tries = 0; tries < 50; ++tries) {
-          int o = int(rng() % m.fields[f].operations.size());
-          const Operation& op = m.fields[f].operations[o];
-          if (op.name == haltOpName || touchesPc(op) ||
-              op.costs.size != 1)
-            continue;
-          choice[f] = o;
-          goto fieldDone;
-        }
-        ok = false;
-      fieldDone:;
-      }
-      if (!ok || !m.satisfiesConstraints(choice)) continue;
-
-      // Paint, rejecting cross-field bit conflicts.
-      BitVector word(wordWidth);
-      BitVector painted(wordWidth);
-      bool conflict = false;
-      for (std::size_t f = 0; f < m.fields.size() && !conflict; ++f) {
-        const Operation& op = m.fields[f].operations[choice[f]];
-        const sim::Signature& sig =
-            sigs.operation(unsigned(f), unsigned(choice[f]));
-        BitVector mask = sig.careMask().or_(sig.paramMask());
-        if (!mask.and_(painted).isZero()) {
-          conflict = true;
-          break;
-        }
-        std::vector<BitVector> params;
-        for (const auto& p : op.params) params.push_back(randomParam(p));
-        sig.assemble(word, params);
-        painted = painted.or_(mask);
-      }
-      if (conflict) continue;
-      prog.words.push_back(word);
-      break;
-    }
-  }
-  // Terminate: assemble the halt instruction via nops + halt op.
-  {
-    BitVector word(wordWidth);
-    for (std::size_t f = 0; f < m.fields.size(); ++f) {
-      int o = m.fields[f].nopIndex;
-      for (std::size_t k = 0; k < m.fields[f].operations.size(); ++k)
-        if (m.fields[f].operations[k].name == haltOpName)
-          o = static_cast<int>(k);
-      sigs.operation(unsigned(f), unsigned(o)).assemble(word, {});
-    }
-    prog.words.push_back(word);
-  }
-  return prog;
-}
 
 struct FuzzCase {
   const char* name;
@@ -141,42 +29,22 @@ struct FuzzCase {
 
 class FuzzDiffTest : public ::testing::TestWithParam<FuzzCase> {};
 
-TEST_P(FuzzDiffTest, RandomProgramsAgreeWithHardwareModel) {
+// Full three-way oracle: interp vs uop exactly (traps included), plus the
+// HGEN->netlist->gatesim leg on halting runs.
+TEST_P(FuzzDiffTest, RandomProgramsAgreeAcrossAllEngines) {
   auto machine = GetParam().loader();
-  sim::Xsim xsim(*machine);
-  hw::HwModel model = hw::buildDatapath(*machine, xsim.signatures());
-  hw::shareResources(model, *machine);
+  testing::DifferentialOracle oracle(*machine);
 
-  std::mt19937 rng(12345);
+  const std::uint64_t seed = testing::seedFromEnv(12345);
+  std::mt19937 rng(static_cast<std::uint32_t>(seed));
   for (int trial = 0; trial < 25; ++trial) {
-    SCOPED_TRACE(::testing::Message() << "trial " << trial);
+    SCOPED_TRACE(::testing::Message()
+                 << "trial " << trial << " seed=" << seed
+                 << " (set ISDL_FUZZ_SEED to override)");
     sim::AssembledProgram prog =
-        randomProgram(*machine, xsim.signatures(), rng, 40);
-
-    std::string err;
-    ASSERT_TRUE(xsim.loadProgram(prog, &err)) << err;
-    sim::RunResult r = xsim.run(100000);
-    if (r.reason == sim::StopReason::RuntimeError) continue;  // e.g. traps
-    ASSERT_EQ(r.reason, sim::StopReason::Halted) << r.message;
-    xsim.drainPipeline();
-
-    synth::GateSim gs(model.netlist);
-    gs.loadMemory(model.storage[machine->imemIndex].mem, prog.words);
-    ASSERT_TRUE(gs.runUntil(model.haltedReg, 100000));
-
-    for (std::size_t si = 0; si < machine->storages.size(); ++si) {
-      const StorageDef& st = machine->storages[si];
-      const auto& map = model.storage[si];
-      if (map.isMem) {
-        for (std::uint64_t e = 0; e < st.depth; ++e)
-          ASSERT_EQ(gs.peekMemory(map.mem, e),
-                    xsim.state().read(unsigned(si), e))
-              << st.name << "[" << e << "]";
-      } else {
-        ASSERT_EQ(gs.peekNet(map.reg), xsim.state().read(unsigned(si)))
-            << st.name;
-      }
-    }
+        testing::randomEncodedProgram(*machine, oracle.signatures(), rng, 40);
+    testing::OracleReport rep = oracle.run(prog);
+    EXPECT_TRUE(rep.ok()) << rep.summary();
   }
 }
 
@@ -187,60 +55,33 @@ INSTANTIATE_TEST_SUITE_P(
                  +[]() { return parseAndCheckIsdl(testing::kMiniIsdl); }},
         FuzzCase{"SPAM", archs::loadSpam},
         FuzzCase{"SPAM2", archs::loadSpam2},
+        FuzzCase{"SREP", archs::loadSrep},
         FuzzCase{"TDSP", archs::loadTdsp}),
     [](const ::testing::TestParamInfo<FuzzCase>& info) {
       return info.param.name;
     });
 
-// Engine differential: the micro-op compiled core (sim/uop.h) against the
-// tree-walking interpreter it replaced. Unlike the hardware-model diff above,
-// runtime traps are NOT skipped — the two engines must trap on the same
-// programs with the same message, and stall/latency attribution must match
-// cycle for cycle, because the compiler is required to preserve interpreter
-// evaluation order exactly.
+// Engine-only differential with a distinct seed stream: the micro-op
+// compiled core against the tree-walking interpreter, stop reason, stall
+// attribution and state all exact — runtime traps are NOT skipped.
 class UopDiffTest : public ::testing::TestWithParam<FuzzCase> {};
 
 TEST_P(UopDiffTest, UopEngineMatchesInterpreter) {
   auto machine = GetParam().loader();
-  sim::Xsim uop(*machine);
-  sim::Xsim interp(*machine);
-  interp.setUopEnabled(false);
-  ASSERT_TRUE(uop.uopEnabled());
-  ASSERT_FALSE(interp.uopEnabled());
+  testing::OracleOptions opts;
+  opts.checkHardware = false;
+  testing::DifferentialOracle oracle(*machine, opts);
 
-  std::mt19937 rng(98765);
+  const std::uint64_t seed = testing::seedFromEnv(98765);
+  std::mt19937 rng(static_cast<std::uint32_t>(seed));
   for (int trial = 0; trial < 25; ++trial) {
-    SCOPED_TRACE(::testing::Message() << "trial " << trial);
+    SCOPED_TRACE(::testing::Message()
+                 << "trial " << trial << " seed=" << seed
+                 << " (set ISDL_FUZZ_SEED to override)");
     sim::AssembledProgram prog =
-        randomProgram(*machine, uop.signatures(), rng, 40);
-
-    std::string err;
-    ASSERT_TRUE(uop.loadProgram(prog, &err)) << err;
-    ASSERT_TRUE(interp.loadProgram(prog, &err)) << err;
-    sim::RunResult ru = uop.run(100000);
-    sim::RunResult ri = interp.run(100000);
-    ASSERT_EQ(ru.reason, ri.reason) << ru.message << " vs " << ri.message;
-    ASSERT_EQ(ru.message, ri.message);
-    uop.drainPipeline();
-    interp.drainPipeline();
-
-    // Cycle counts and stall attribution must agree, not just final values.
-    const sim::Stats& su = uop.stats();
-    const sim::Stats& si = interp.stats();
-    ASSERT_EQ(su.cycles, si.cycles);
-    ASSERT_EQ(su.instructions, si.instructions);
-    ASSERT_EQ(su.dataStallCycles, si.dataStallCycles);
-    ASSERT_EQ(su.structStallCycles, si.structStallCycles);
-    ASSERT_EQ(su.dataStallsByStorage, si.dataStallsByStorage);
-    ASSERT_EQ(su.structStallsByField, si.structStallsByField);
-
-    for (std::size_t s = 0; s < machine->storages.size(); ++s) {
-      const StorageDef& st = machine->storages[s];
-      for (std::uint64_t e = 0; e < st.depth; ++e)
-        ASSERT_EQ(uop.state().read(unsigned(s), e),
-                  interp.state().read(unsigned(s), e))
-            << st.name << "[" << e << "]";
-    }
+        testing::randomEncodedProgram(*machine, oracle.signatures(), rng, 40);
+    testing::OracleReport rep = oracle.run(prog);
+    EXPECT_TRUE(rep.ok()) << rep.summary();
   }
 }
 

@@ -1,0 +1,218 @@
+// Self-test of the conformance-fuzzing subsystem (src/testing): the machine
+// generator's sema-clean promise, the retargeted assembly generator, the
+// fuzz loop's determinism across worker counts, the seed plumbing, and the
+// end-to-end fault-catching path — an injected uop-lowering bug must be
+// found, shrunk to a tiny repro, and written to the corpus with its seed.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <sstream>
+
+#include "isdl/parser.h"
+#include "isdl/sema.h"
+#include "sim/uop.h"
+#include "testing/fuzzer.h"
+#include "testing/machinegen.h"
+#include "testing/oracle.h"
+#include "testing/programgen.h"
+
+namespace isdl {
+namespace {
+
+// Restores the uop fault-injection flag (and the seed env var) no matter how
+// a test exits.
+struct FaultInjectionGuard {
+  ~FaultInjectionGuard() { sim::uop::setTestFaultInjection(false); }
+};
+
+struct EnvGuard {
+  ~EnvGuard() { ::unsetenv("ISDL_FUZZ_SEED"); }
+};
+
+TEST(MachineGenTest, EmittedDescriptionsAreAlwaysSemaClean) {
+  for (std::uint64_t seed = 1; seed <= 50; ++seed) {
+    std::mt19937_64 rng(seed);
+    testing::MachineSpec spec = testing::randomMachineSpec(rng);
+    spec.seed = seed;
+    std::string source = testing::emitIsdl(spec);
+
+    DiagnosticEngine diags;
+    auto machine = parseIsdl(source, diags);
+    ASSERT_NE(machine, nullptr) << "seed " << seed << ":\n" << diags.dump();
+    checkMachine(*machine, diags);
+    EXPECT_FALSE(diags.hasErrors())
+        << "seed " << seed << " generated a rejected description:\n"
+        << diags.dump() << "\n--- source ---\n" << source;
+  }
+}
+
+TEST(MachineGenTest, SameSeedSameDescription) {
+  std::mt19937_64 a(7), b(7);
+  EXPECT_EQ(testing::emitIsdl(testing::randomMachineSpec(a)),
+            testing::emitIsdl(testing::randomMachineSpec(b)));
+}
+
+TEST(ProgramGenTest, RandomAssemblyProgramsAssembleAndAgree) {
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    std::mt19937_64 mrng(seed);
+    testing::MachineSpec spec = testing::randomMachineSpec(mrng);
+    spec.seed = seed;
+    auto machine = parseAndCheckIsdl(testing::emitIsdl(spec));
+    ASSERT_NE(machine, nullptr) << "seed " << seed;
+
+    testing::DifferentialOracle oracle(*machine);
+    sim::Assembler assembler(oracle.signatures());
+    std::mt19937_64 prng(seed * 1000 + 1);
+    auto lines =
+        testing::randomAssemblyProgram(*machine, oracle.signatures(), prng, 12);
+    ASSERT_FALSE(lines.empty()) << "seed " << seed;
+
+    std::ostringstream src;
+    for (const auto& line : lines) src << line << "\n";
+    DiagnosticEngine diags;
+    auto prog = assembler.assemble(src.str(), diags);
+    ASSERT_TRUE(prog.has_value())
+        << "seed " << seed << ":\n" << diags.dump() << "\n" << src.str();
+
+    testing::OracleReport rep = oracle.run(*prog);
+    EXPECT_TRUE(rep.ok()) << "seed " << seed << "\n" << rep.summary();
+  }
+}
+
+TEST(FuzzerTest, CleanRunFindsNoFailures) {
+  testing::FuzzConfig cfg;
+  cfg.seed = 2026;
+  cfg.machines = 6;
+  cfg.programsPerMachine = 3;
+  cfg.programLength = 15;
+  obs::Registry registry;
+  testing::FuzzOutcome out = testing::runFuzz(cfg, &registry);
+
+  EXPECT_TRUE(out.ok()) << out.failures.size() << " failures, "
+                        << out.generatorErrors << " generator errors";
+  EXPECT_EQ(out.machines, 6u);
+  EXPECT_EQ(out.pairs, 18u);
+  EXPECT_EQ(out.halted + out.trapped, out.pairs);
+  EXPECT_EQ(registry.counter("fuzz/pairs").get(), 18u);
+  EXPECT_EQ(registry.counter("fuzz/divergent_pairs").get(), 0u);
+}
+
+TEST(FuzzerTest, OutcomeIsIndependentOfWorkerCount) {
+  testing::FuzzConfig cfg;
+  cfg.seed = 4711;
+  cfg.machines = 8;
+  cfg.programsPerMachine = 2;
+  cfg.programLength = 10;
+  cfg.checkHardware = false;
+
+  cfg.jobs = 1;
+  testing::FuzzOutcome serial = testing::runFuzz(cfg);
+  cfg.jobs = 2;
+  testing::FuzzOutcome threaded = testing::runFuzz(cfg);
+
+  EXPECT_EQ(serial.pairs, threaded.pairs);
+  EXPECT_EQ(serial.halted, threaded.halted);
+  EXPECT_EQ(serial.trapped, threaded.trapped);
+  ASSERT_EQ(serial.failures.size(), threaded.failures.size());
+  for (std::size_t i = 0; i < serial.failures.size(); ++i)
+    EXPECT_EQ(serial.failures[i].machineSeed, threaded.failures[i].machineSeed);
+}
+
+TEST(FuzzerTest, InjectedFaultIsCaughtShrunkAndWrittenToCorpus) {
+  FaultInjectionGuard guard;
+  sim::uop::setTestFaultInjection(true);
+
+  auto corpus = std::filesystem::temp_directory_path() /
+                "isdl_fuzz_corpus_test";
+  std::filesystem::remove_all(corpus);
+
+  testing::FuzzConfig cfg;
+  cfg.seed = 42;
+  cfg.machines = 8;
+  cfg.programsPerMachine = 3;
+  cfg.programLength = 15;
+  cfg.checkHardware = false;  // the fault is engine-vs-engine
+  cfg.corpusDir = corpus.string();
+  testing::FuzzOutcome out = testing::runFuzz(cfg);
+
+  ASSERT_FALSE(out.failures.empty())
+      << "broken uop lowering was not detected";
+  for (const auto& f : out.failures) {
+    EXPECT_NE(f.machineSeed, 0u);
+    EXPECT_FALSE(f.divergence.empty());
+    EXPECT_TRUE(f.shrunk.reproduced);
+    // Acceptance bar: a minimal repro of at most 5 instructions (the last
+    // line is the pinned halt).
+    EXPECT_LE(f.shrunk.program.size(), 5u)
+        << "shrinker left " << f.shrunk.program.size() << " lines";
+
+    ASSERT_FALSE(f.reproPath.empty());
+    std::ifstream repro(f.reproPath);
+    ASSERT_TRUE(repro.good()) << f.reproPath;
+    std::stringstream text;
+    text << repro.rdbuf();
+    EXPECT_NE(text.str().find(std::to_string(f.machineSeed)),
+              std::string::npos)
+        << "repro file does not record the machine seed";
+    EXPECT_NE(text.str().find("isdl-fuzz --seed"), std::string::npos)
+        << "repro file does not record the replay command";
+  }
+
+  std::filesystem::remove_all(corpus);
+}
+
+TEST(FuzzerTest, ShrunkReproReplaysThroughTheFrontEnd) {
+  FaultInjectionGuard guard;
+  sim::uop::setTestFaultInjection(true);
+
+  testing::FuzzConfig cfg;
+  cfg.seed = 42;
+  cfg.machines = 8;
+  cfg.programsPerMachine = 3;
+  cfg.programLength = 15;
+  cfg.checkHardware = false;
+  testing::FuzzOutcome out = testing::runFuzz(cfg);
+  ASSERT_FALSE(out.failures.empty());
+
+  // The shrunk machine must still be a real, sema-clean description, and the
+  // shrunk program must still diverge on it.
+  const testing::FuzzFailure& f = out.failures.front();
+  auto machine = parseAndCheckIsdl(testing::emitIsdl(f.shrunk.spec));
+  ASSERT_NE(machine, nullptr);
+
+  testing::OracleOptions opts;
+  opts.checkHardware = false;
+  testing::DifferentialOracle oracle(*machine, opts);
+  sim::Assembler assembler(oracle.signatures());
+  std::ostringstream src;
+  for (const auto& line : f.shrunk.program) src << line << "\n";
+  DiagnosticEngine diags;
+  auto prog = assembler.assemble(src.str(), diags);
+  ASSERT_TRUE(prog.has_value()) << diags.dump();
+  EXPECT_FALSE(oracle.run(*prog).ok())
+      << "shrunk repro no longer diverges:\n" << src.str();
+}
+
+TEST(SeedTest, EnvOverrideWinsOverFallback) {
+  EnvGuard guard;
+  ::setenv("ISDL_FUZZ_SEED", "777", 1);
+  EXPECT_EQ(testing::seedFromEnv(1), 777u);
+  ::setenv("ISDL_FUZZ_SEED", "not-a-number", 1);
+  EXPECT_EQ(testing::seedFromEnv(5), 5u);
+  ::unsetenv("ISDL_FUZZ_SEED");
+  EXPECT_EQ(testing::seedFromEnv(9), 9u);
+}
+
+TEST(SeedTest, MixSeedGivesDistinctDeterministicLanes) {
+  EXPECT_EQ(testing::mixSeed(1, 0), testing::mixSeed(1, 0));
+  EXPECT_NE(testing::mixSeed(1, 0), testing::mixSeed(1, 1));
+  EXPECT_NE(testing::mixSeed(1, 0), testing::mixSeed(2, 0));
+}
+
+}  // namespace
+}  // namespace isdl

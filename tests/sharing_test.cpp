@@ -137,6 +137,49 @@ machine X {
   EXPECT_EQ(withoutCon.cliquesUsed, 0u);  // naive scheme: no merge possible
 }
 
+TEST(Sharing, NeverCreatesACombinationalCycleAcrossSharedUnits) {
+  // Found by isdl-fuzz (seed 7413975438838165915, shrunk): ma's multiplier
+  // reads ma's subtractor, while mb's subtractor reads mb's multiplier. The
+  // Mul pair and the AddSub pair are each same-field/different-op (rule R3:
+  // compatible) and internally dependency-free — but merging BOTH routes
+  // the shared multiplier and the shared adder/subtractor into each other's
+  // operand muxes. The exclusive decode lines make that loop false
+  // dynamically, yet the netlist must stay structurally acyclic: GateSim
+  // construction topo-sorts and throws on a cycle.
+  auto b = buildFor(parseAndCheckIsdl(R"(
+machine CYC {
+  section format { word_width = 16; }
+  section storage {
+    instruction_memory IM width 16 depth 32;
+    register_file RF width 12 depth 4;
+    program_counter PC width 12;
+  }
+  section global_definitions {
+    token REG enum width 2 prefix "R" range 0 .. 3;
+  }
+  section instruction_set {
+    field F {
+      operation nop() { encode { inst[15:12] = 4'd0; } }
+      operation ma(d: REG, a: REG, b: REG) {
+        encode { inst[15:12] = 4'd1; inst[11:10] = d; inst[9:8] = a;
+                 inst[7:6] = b; }
+        action { RF[d] <- RF[a] * (12'd100 - RF[b]); }
+      }
+      operation mb(d: REG, a: REG, b: REG) {
+        encode { inst[15:12] = 4'd2; inst[11:10] = d; inst[9:8] = a;
+                 inst[7:6] = b; }
+        action { RF[d] <- (RF[a] * RF[b]) - 12'd7; }
+      }
+      operation halt() { encode { inst[15:12] = 4'd15; } }
+    }
+  }
+  section optional { halt_operation = "F.halt"; }
+}
+)"));
+  shareResources(b.model, *b.machine);
+  EXPECT_NO_THROW(synth::GateSim gs(b.model.netlist));
+}
+
 TEST(Sharing, ReportAccounting) {
   auto b = buildFor(archs::loadSpam());
   SharingReport r = shareResources(b.model, *b.machine);
